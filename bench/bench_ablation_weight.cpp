@@ -1,0 +1,42 @@
+// Ablation: the robust-weight knob w in FIGRET's loss (Eq. 6). This is the
+// design choice the whole paper hinges on — w = 0 is DOTE, w -> infinity is
+// uniform hedging. Sweeping w on the bursty ToR-DB scenario regenerates the
+// trade-off curve used to calibrate the bench profile (EXPERIMENTS.md):
+// average normalized MLU rises slowly with w while the tail (p99/max)
+// falls sharply, with a wide sweet spot around w ~ 1-8.
+#include <iostream>
+
+#include "bench_common.h"
+#include "te/figret.h"
+#include "te/harness.h"
+#include "util/table.h"
+
+int main() {
+  using namespace figret;
+  bench::print_header(
+      std::cout, "Ablation — FIGRET robust weight sweep (ToR-DB)",
+      "w trades average (slowly up) for tail (sharply down); w=0 is DOTE",
+      "scaled ToR fabric");
+
+  const bench::Scenario sc = bench::make_scenario("ToR-DB");
+  te::Harness::Options hopt;
+  hopt.eval_stride = sc.eval_stride;
+  hopt.max_window = 12;
+  te::Harness harness(sc.ps, sc.trace, hopt);
+
+  const bench::TrainProfile prof = bench::train_profile();
+  util::Table t(bench::eval_header());
+  for (const double w : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    te::FigretOptions fopt;
+    fopt.history = prof.history;
+    fopt.hidden = prof.hidden;
+    fopt.epochs = prof.epochs;
+    fopt.robust_weight = w;
+    te::FigretScheme scheme(sc.ps, fopt,
+                            w == 0.0 ? "DOTE (w=0)"
+                                     : "FIGRET w=" + util::fmt(w, 1));
+    t.add_row(bench::eval_row(harness.evaluate(scheme)));
+  }
+  t.print(std::cout);
+  return 0;
+}

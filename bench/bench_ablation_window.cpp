@@ -1,0 +1,40 @@
+// Ablation: the history window H. Appendix G.2 (Fig 18) argues that
+// enlarging the window cannot make bursts predictable; this bench shows the
+// downstream consequence — FIGRET's quality saturates quickly in H, so the
+// paper's H = 12 is comfortably in the flat region.
+#include <iostream>
+
+#include "bench_common.h"
+#include "te/figret.h"
+#include "te/harness.h"
+#include "util/table.h"
+
+int main() {
+  using namespace figret;
+  bench::print_header(
+      std::cout, "Ablation — FIGRET history window sweep (ToR-DB)",
+      "quality saturates in H: bigger windows cannot anticipate bursts "
+      "(complements Fig 18)",
+      "scaled ToR fabric");
+
+  const bench::Scenario sc = bench::make_scenario("ToR-DB");
+  te::Harness::Options hopt;
+  hopt.eval_stride = sc.eval_stride;
+  hopt.max_window = 16;
+  te::Harness harness(sc.ps, sc.trace, hopt);
+
+  const bench::TrainProfile prof = bench::train_profile();
+  util::Table t(bench::eval_header());
+  for (const std::size_t h : {std::size_t{1}, std::size_t{4}, std::size_t{8},
+                              std::size_t{12}, std::size_t{16}}) {
+    te::FigretOptions fopt;
+    fopt.history = h;
+    fopt.hidden = prof.hidden;
+    fopt.epochs = prof.epochs;
+    fopt.robust_weight = prof.robust_weight;
+    te::FigretScheme scheme(sc.ps, fopt, "FIGRET H=" + std::to_string(h));
+    t.add_row(bench::eval_row(harness.evaluate(scheme)));
+  }
+  t.print(std::cout);
+  return 0;
+}

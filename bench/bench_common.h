@@ -1,0 +1,61 @@
+// Shared infrastructure for the per-figure/per-table bench binaries.
+//
+// Every bench reproduces one table or figure of the paper (DESIGN.md §3).
+// Scenarios mirror the paper's eight topology/trace combinations; the two
+// ToR-level fabrics and the two Topology-Zoo WANs are scaled down (single
+// CPU core, dense-simplex LP baselines) with the substitution documented in
+// the emitted header and in DESIGN.md §2. Set FIGRET_BENCH_FULL=1 in the
+// environment for larger instances.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+#include "te/harness.h"
+#include "te/pathset.h"
+#include "traffic/demand.h"
+
+namespace figret::bench {
+
+struct Scenario {
+  std::string name;
+  std::string note;  // scale / substitution note printed with results
+  net::Graph graph;
+  te::PathSet ps;
+  traffic::TrafficTrace trace;
+  /// Harness eval stride (LP baselines are expensive on bigger scenarios).
+  std::size_t eval_stride = 1;
+};
+
+/// Scenario registry keyed by the paper's names:
+/// "GEANT", "UsCarrier", "Cogentco", "pFabric", "PoD-DB", "PoD-WEB",
+/// "ToR-DB", "ToR-WEB".
+Scenario make_scenario(const std::string& name);
+
+/// All eight evaluation scenarios in the paper's order.
+std::vector<std::string> scenario_names();
+
+/// True when FIGRET_BENCH_FULL=1 (bigger instances, longer runtimes).
+bool full_mode();
+
+/// FIGRET/DOTE training options tuned for bench runtimes (smaller than the
+/// paper's 5x128 architecture in quick mode; full mode uses the paper's).
+struct TrainProfile {
+  std::size_t history;
+  std::vector<std::size_t> hidden;
+  std::size_t epochs;
+  double robust_weight;
+};
+TrainProfile train_profile();
+
+/// Prints the standard bench header (figure id, paper claim, scale note).
+void print_header(std::ostream& os, const std::string& figure,
+                  const std::string& claim, const std::string& note);
+
+/// Formats a SchemeEval as the columns used across the Fig 5-style tables.
+std::vector<std::string> eval_row(const te::SchemeEval& ev);
+std::vector<std::string> eval_header();
+
+}  // namespace figret::bench

@@ -1,0 +1,101 @@
+// Figures 16 & 17 (Appendix F): t-SNE visualisation of traffic snapshots for
+// the PoD-level and ToR-level Meta DB traces, split into the four quartile
+// time segments (0-25%, 25-50%, 50-75%, 75-100%).
+//
+// Paper observations to reproduce:
+//  * ToR-level embeddings are more dispersed than PoD-level (higher
+//    dynamism);
+//  * both form a single cluster (no drastic temporal drift);
+//  * quartile centroids shift more at ToR level than at PoD level.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/tsne.h"
+
+namespace {
+
+using namespace figret;
+
+struct Embedding {
+  std::vector<double> y;   // n x 2
+  std::size_t n = 0;
+};
+
+Embedding embed(const traffic::TrafficTrace& trace, std::size_t samples) {
+  const std::size_t stride = std::max<std::size_t>(1, trace.size() / samples);
+  std::vector<double> data;
+  std::size_t n = 0;
+  const std::size_t dim = traffic::num_pairs(trace.num_nodes);
+  for (std::size_t t = 0; t < trace.size(); t += stride) {
+    for (std::size_t p = 0; p < dim; ++p) data.push_back(trace[t][p]);
+    ++n;
+  }
+  util::TsneOptions opt;
+  opt.iterations = 250;
+  opt.perplexity = 15.0;
+  return {util::tsne2d(data, n, dim, opt), n};
+}
+
+void run(const std::string& name) {
+  const bench::Scenario sc = bench::make_scenario(name);
+  const Embedding emb = embed(sc.trace, 120);
+
+  // Quartile segment statistics in the embedding.
+  util::Table t({"segment", "centroid_x", "centroid_y", "spread"});
+  std::vector<std::pair<double, double>> centroids;
+  double total_spread = 0.0;
+  const std::size_t per = emb.n / 4;
+  for (std::size_t q = 0; q < 4; ++q) {
+    const std::size_t begin = q * per;
+    const std::size_t end = q == 3 ? emb.n : (q + 1) * per;
+    double cx = 0.0, cy = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      cx += emb.y[i * 2];
+      cy += emb.y[i * 2 + 1];
+    }
+    const double cnt = static_cast<double>(end - begin);
+    cx /= cnt;
+    cy /= cnt;
+    double spread = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+      spread += std::hypot(emb.y[i * 2] - cx, emb.y[i * 2 + 1] - cy);
+    spread /= cnt;
+    total_spread += spread / 4.0;
+    centroids.emplace_back(cx, cy);
+    t.add_row({std::to_string(q * 25) + "-" + std::to_string((q + 1) * 25) +
+                   "%",
+               util::fmt(cx, 2), util::fmt(cy, 2), util::fmt(spread, 2)});
+  }
+  double max_centroid_shift = 0.0;
+  for (std::size_t a = 0; a < centroids.size(); ++a)
+    for (std::size_t b = a + 1; b < centroids.size(); ++b)
+      max_centroid_shift = std::max(
+          max_centroid_shift,
+          std::hypot(centroids[a].first - centroids[b].first,
+                     centroids[a].second - centroids[b].second));
+
+  std::cout << "\n--- " << sc.name << " (" << emb.n << " snapshots embedded) ---\n";
+  t.print(std::cout);
+  std::cout << "mean within-segment spread: " << util::fmt(total_spread, 3)
+            << "\nmax centroid shift:         "
+            << util::fmt(max_centroid_shift, 3)
+            << "\nshift/spread ratio:         "
+            << util::fmt(max_centroid_shift / std::max(total_spread, 1e-9), 3)
+            << "  (<1 means one cluster, limited drift)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      std::cout, "Figures 16/17 — t-SNE of traffic snapshots by quartile",
+      "single cluster over time (no drastic drift); ToR more dispersed and "
+      "with larger drift than PoD",
+      "exact O(n^2) t-SNE on subsampled snapshots");
+  run("PoD-DB");
+  run("ToR-DB");
+  return 0;
+}

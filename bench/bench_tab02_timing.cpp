@@ -1,0 +1,164 @@
+// Table 2: calculation time (one TE solve) and precomputation time across
+// schemes and topology scales, using google-benchmark for the per-solve
+// numbers.
+//
+// Paper claims to reproduce:
+//  * FIGRET's per-solve time is orders of magnitude below the LP schemes
+//    (35x-1800x vs Des TE);
+//  * Des TE (LP + sensitivity caps) is slower than the plain LP;
+//  * Oblivious/COPE fail to complete at ToR scale within budget
+//    ("Infeasible"), while GEANT-scale is feasible;
+//  * FIGRET's training time is far below the RL-based TEAL-style trainer's.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <deque>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "te/cope.h"
+#include "te/figret.h"
+#include "te/lp_schemes.h"
+#include "te/oblivious.h"
+#include "te/teal_like.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace figret;
+using Clock = std::chrono::steady_clock;
+
+struct TimedScenario {
+  bench::Scenario sc;
+  std::unique_ptr<te::FigretScheme> figret;
+  std::vector<double> des_caps;
+  double figret_train_seconds = 0.0;
+  double teal_train_seconds = 0.0;
+};
+
+// Deque: schemes hold pointers into their scenario's PathSet, so elements
+// must never relocate once constructed.
+std::deque<TimedScenario>& scenarios() {
+  static std::deque<TimedScenario> all;
+  return all;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void bench_figret_advise(benchmark::State& state, std::size_t idx) {
+  TimedScenario& ts = scenarios()[idx];
+  const std::size_t window = ts.figret->history_window();
+  const std::span<const traffic::DemandMatrix> history{
+      ts.sc.trace.snapshots.data() + (ts.sc.trace.size() - window), window};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts.figret->advise(history));
+  }
+}
+
+void bench_lp_solve(benchmark::State& state, std::size_t idx) {
+  TimedScenario& ts = scenarios()[idx];
+  const auto& dm = ts.sc.trace.snapshots.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::solve_mlu_lp(ts.sc.ps, dm));
+  }
+}
+
+void bench_des_lp_solve(benchmark::State& state, std::size_t idx) {
+  TimedScenario& ts = scenarios()[idx];
+  const auto& dm = ts.sc.trace.snapshots.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::solve_mlu_lp(ts.sc.ps, dm, &ts.des_caps));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      std::cout, "Table 2 — calculation and precomputation time",
+      "FIGRET solves 35x-1800x faster than Des TE; Oblivious/COPE "
+      "infeasible at ToR scale",
+      "ToR fabrics scaled (paper: 155/324 nodes); budgets replace the "
+      "paper's 1-day cap");
+
+  const bench::TrainProfile prof = bench::train_profile();
+  for (const char* name : {"GEANT", "ToR-DB", "ToR-WEB"}) {
+    // Emplace first: the trained scheme keeps a pointer to ts.sc.ps, so the
+    // scenario must already live at its final address.
+    TimedScenario& ts = scenarios().emplace_back();
+    ts.sc = bench::make_scenario(name);
+
+    te::FigretOptions fopt;
+    fopt.history = prof.history;
+    fopt.hidden = prof.hidden;
+    fopt.epochs = prof.epochs;
+    fopt.robust_weight = prof.robust_weight;
+    ts.figret = std::make_unique<te::FigretScheme>(ts.sc.ps, fopt);
+    const auto t0 = Clock::now();
+    ts.figret->fit(ts.sc.trace.slice(0, ts.sc.trace.size() * 3 / 4));
+    ts.figret_train_seconds = seconds_since(t0);
+
+    // TEAL-style trainer (per-demand net), for the precomputation column.
+    te::TealOptions topt;
+    topt.hidden = prof.hidden;
+    topt.epochs = prof.epochs;
+    te::TealLikeTe teal(ts.sc.ps, topt);
+    const auto t1 = Clock::now();
+    teal.fit(ts.sc.trace.slice(0, ts.sc.trace.size() * 3 / 4));
+    ts.teal_train_seconds = seconds_since(t1);
+
+    ts.des_caps = te::sensitivity_caps(
+        ts.sc.ps, std::vector<double>(ts.sc.ps.num_pairs(), 0.5));
+  }
+
+  for (std::size_t i = 0; i < scenarios().size(); ++i) {
+    const std::string& n = scenarios()[i].sc.name;
+    benchmark::RegisterBenchmark(("FIGRET_advise/" + n).c_str(),
+                                 bench_figret_advise, i)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("LP_solve/" + n).c_str(), bench_lp_solve, i)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("DesTE_LP_solve/" + n).c_str(),
+                                 bench_des_lp_solve, i)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Precomputation columns of Table 2.
+  std::cout << "\nPrecomputation (training / cutting-plane) time:\n";
+  util::Table t({"network", "FIGRET train (s)", "TEAL-like train (s)",
+                 "Oblivious", "COPE"});
+  const double budget = bench::full_mode() ? 600.0 : 60.0;
+  for (auto& ts : scenarios()) {
+    std::string obl_cell = "-", cope_cell = "-";
+    if (ts.sc.ps.num_nodes() <= 30) {
+      te::ObliviousOptions oopt;
+      oopt.time_budget_seconds = budget;
+      const auto t0 = Clock::now();
+      const te::ObliviousResult r = te::solve_oblivious(ts.sc.ps, oopt);
+      obl_cell = r.converged
+                     ? "Feasible (" + util::fmt(seconds_since(t0), 1) + "s)"
+                     : "Infeasible (budget)";
+      te::CopeOptions copt;
+      copt.oblivious = oopt;
+      const auto t1 = Clock::now();
+      const te::CopeResult c =
+          te::solve_cope(ts.sc.ps, ts.sc.trace.slice(0, 40), copt);
+      cope_cell = c.converged
+                      ? "Feasible (" + util::fmt(seconds_since(t1), 1) + "s)"
+                      : "Infeasible (budget)";
+    } else {
+      obl_cell = "Infeasible (scale)";
+      cope_cell = "Infeasible (scale)";
+    }
+    t.add_row({ts.sc.name, util::fmt(ts.figret_train_seconds, 2),
+               util::fmt(ts.teal_train_seconds, 2), obl_cell, cope_cell});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table 5: worst-case stress test — the per-pair fluctuation magnitudes are
+// rank-REVERSED (historically stable pairs get the largest noise), directly
+// attacking FIGRET's learned fine-grained robustness.
+//
+// Paper claims:
+//  * degradation exceeds the matched-rank case of Table 3 but performance
+//    does not collapse (~30-40% at alpha = 2 on DB traces);
+//  * the Spearman rank correlation of per-pair variances between train and
+//    test splits is very high (0.92-0.98), so this adversarial reversal is
+//    rare in practice;
+//  * pFabric is barely affected (uniform random pairs => no variance
+//    ranking to exploit).
+#include <iostream>
+
+#include "bench_common.h"
+#include "te/figret.h"
+#include "te/harness.h"
+#include "traffic/generators.h"
+#include "traffic/stats.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace figret;
+
+struct Metrics {
+  double average;
+  double p90;
+};
+
+Metrics eval_on(const bench::Scenario& sc, te::FigretScheme& scheme,
+                const traffic::TrafficTrace& full_trace) {
+  te::Harness::Options hopt;
+  hopt.eval_stride = sc.eval_stride;
+  hopt.max_window = 12;
+  te::Harness harness(sc.ps, full_trace, hopt);
+  const te::SchemeEval ev = harness.evaluate(scheme, /*fit=*/false);
+  return {ev.average(), ev.stats().p90};
+}
+
+void run(const std::string& name) {
+  const bench::Scenario sc = bench::make_scenario(name);
+  const bench::TrainProfile prof = bench::train_profile();
+  te::FigretOptions fopt;
+  fopt.history = prof.history;
+  fopt.hidden = prof.hidden;
+  fopt.epochs = prof.epochs;
+  fopt.robust_weight = prof.robust_weight;
+  te::FigretScheme figret(sc.ps, fopt);
+
+  const std::size_t cut = sc.trace.size() * 3 / 4;
+  const traffic::TrafficTrace train = sc.trace.slice(0, cut);
+  const traffic::TrafficTrace test = sc.trace.slice(cut, sc.trace.size());
+  figret.fit(train);
+  const Metrics base = eval_on(sc, figret, sc.trace);
+
+  util::Table t({"alpha", "avg decline %", "90th pct decline %"});
+  for (const double alpha : {0.2, 0.5, 1.0, 2.0}) {
+    traffic::TrafficTrace perturbed = sc.trace;
+    const traffic::TrafficTrace noisy_test =
+        traffic::perturb_gaussian_rank_reversed(test, train, alpha,
+                                                1300 + alpha * 10);
+    for (std::size_t i = 0; i < noisy_test.size(); ++i)
+      perturbed.snapshots[cut + i] = noisy_test[i];
+    const Metrics m = eval_on(sc, figret, perturbed);
+    t.add_row({util::fmt(alpha, 1),
+               util::fmt(100.0 * (m.average - base.average) / base.average, 1),
+               util::fmt(100.0 * (m.p90 - base.p90) / base.p90, 1)});
+  }
+
+  // How likely is this worst case in practice? Spearman correlation of the
+  // per-pair variance rankings between train and test.
+  const double rho = util::spearman(traffic::pair_variances(train),
+                                    traffic::pair_variances(test));
+  std::cout << "\n--- " << sc.name << " ---\n";
+  t.print(std::cout);
+  std::cout << "Spearman(variance ranks, train vs test) = "
+            << util::fmt(rho, 3)
+            << "  (paper: 0.92 PoD DB / 0.98 ToR DB — reversal is rare)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      std::cout, "Table 5 — decline under rank-reversed (worst-case) "
+                 "fluctuations",
+      "larger decline than Table 3, but no collapse; variance rankings are "
+      "stable across time so the attack is unrealistic",
+      "negative values mean no degradation (as in the paper)");
+  for (const char* name : {"PoD-DB", "pFabric", "ToR-DB"}) run(name);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Adaptive retraining (paper §6 "When should FIGRET be retrained?").
+//
+// The paper ships periodic retraining and sketches a smarter policy:
+// retrain when traffic patterns change significantly or performance
+// degrades. This example closes that loop with the RetrainMonitor: FIGRET
+// serves a trace whose traffic pattern shifts abruptly halfway through the
+// test period; the monitor detects the drift and triggers one retrain,
+// restoring performance without any periodic schedule.
+#include <iostream>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/figret.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "te/retrain_monitor.h"
+#include "traffic/generators.h"
+#include "util/table.h"
+
+int main() {
+  using namespace figret;
+
+  const std::size_t n = 8;
+  const net::Graph graph = net::full_mesh(n);
+  const te::PathSet paths =
+      te::PathSet::build(graph, net::all_pairs_k_shortest(graph, 3));
+
+  // Phase 1 traffic, then an abrupt regime change (different gravity masses
+  // and burstiness) — the situation periodic retraining handles poorly.
+  const traffic::TrafficTrace phase1 = traffic::dc_tor_trace(n, 220, 5);
+  const traffic::TrafficTrace phase2 = traffic::dc_tor_trace(n, 140, 999);
+  traffic::TrafficTrace trace = phase1;
+  for (const auto& dm : phase2.snapshots) trace.snapshots.push_back(dm);
+
+  te::FigretOptions fopt;
+  fopt.history = 8;
+  fopt.hidden = {96, 96};
+  fopt.epochs = 12;
+  te::FigretScheme figret(paths, fopt);
+
+  const std::size_t initial_train_end = 160;
+  figret.fit(trace.slice(0, initial_train_end));
+
+  te::RetrainPolicy policy;
+  policy.window = 24;
+  policy.trigger_count = 12;
+  policy.similarity_threshold = 0.85;
+  policy.degradation_threshold = 1.6;
+  te::RetrainMonitor monitor(policy);
+  monitor.set_reference(trace.slice(0, initial_train_end));
+
+  util::Table t({"epoch range", "avg normalized MLU", "retrained?"});
+  double window_sum = 0.0;
+  std::size_t window_count = 0, window_begin = initial_train_end;
+  std::size_t retrain_count = 0;
+  std::string retrain_note = "no";
+
+  for (std::size_t epoch = initial_train_end; epoch < trace.size(); ++epoch) {
+    const std::span<const traffic::DemandMatrix> history{
+        trace.snapshots.data() + (epoch - fopt.history), fopt.history};
+    const te::TeConfig cfg = figret.advise(history);
+    const double raw = te::mlu(paths, trace[epoch], cfg);
+    const te::MluLpResult oracle = te::solve_mlu_lp(paths, trace[epoch]);
+    const double normalized = raw / std::max(oracle.mlu, 1e-12);
+
+    monitor.observe(trace[epoch], normalized);
+    window_sum += normalized;
+    ++window_count;
+
+    if (monitor.should_retrain() && retrain_count < 3) {
+      ++retrain_count;
+      retrain_note = "RETRAIN #" + std::to_string(retrain_count);
+      // Retrain on the most recent history (including the new regime).
+      figret.fit(trace.slice(epoch > 160 ? epoch - 160 : 0, epoch));
+      monitor.set_reference(trace.slice(epoch > 64 ? epoch - 64 : 0, epoch));
+    }
+
+    if (window_count == 40 || epoch + 1 == trace.size()) {
+      t.add_row({std::to_string(window_begin) + "-" + std::to_string(epoch),
+                 util::fmt(window_sum / window_count, 4), retrain_note});
+      window_sum = 0.0;
+      window_count = 0;
+      window_begin = epoch + 1;
+      retrain_note = "no";
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe regime change at epoch " << phase1.size()
+            << " degrades the stale model; the drift/degradation monitor "
+               "triggers retraining\nand the averages recover — no periodic "
+               "schedule required.\n";
+  return 0;
+}

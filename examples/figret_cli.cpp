@@ -1,0 +1,192 @@
+// figret_cli — run any TE scheme on any built-in scenario from the command
+// line; the embedding surface a network operator would script against.
+//
+//   figret_cli --topology geant --traffic wan --scheme figret \
+//              --epochs 20 --robust-weight 4 --save model.bin
+//   figret_cli --topology mesh --nodes 8 --traffic tor --scheme des
+//   figret_cli --list
+//
+// Schemes: figret, dote, teal, des, pred, heuristic, twostage, oblivious,
+// cope. Topologies: geant, mesh, tor (random regular), wan (sparse).
+// Traffic: wan, gravity, tor, pod, pfabric.
+#include <iostream>
+#include <memory>
+
+#include "net/racke_paths.h"
+#include "net/topology.h"
+#include "net/yen.h"
+#include "nn/serialize.h"
+#include "te/cope.h"
+#include "te/figret.h"
+#include "te/harness.h"
+#include "te/heuristic_f.h"
+#include "te/lp_schemes.h"
+#include "te/oblivious.h"
+#include "te/teal_like.h"
+#include "te/two_stage.h"
+#include "traffic/generators.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace figret;
+
+void print_usage() {
+  std::cout <<
+      "figret_cli — FIGRET traffic engineering playground\n\n"
+      "  --topology  geant | mesh | tor | wan      (default geant)\n"
+      "  --nodes     N (mesh/tor/wan sizes)        (default 8/16/30)\n"
+      "  --traffic   wan | gravity | tor | pod | pfabric (default matches topology)\n"
+      "  --snapshots T                             (default 240)\n"
+      "  --scheme    figret | dote | teal | des | pred | heuristic |\n"
+      "              twostage | oblivious | cope   (default figret)\n"
+      "  --epochs    N    --history H    --robust-weight W\n"
+      "  --racke     use Racke-style (SMORE) path selection\n"
+      "  --stride    evaluate every k-th test snapshot (default 2)\n"
+      "  --seed      trace seed (default 42)\n"
+      "  --save      path to write the trained FIGRET/DOTE model\n"
+      "  --list      print available scenarios and exit\n";
+}
+
+net::Graph make_graph(const util::Args& args) {
+  const std::string topo = args.get_or("topology", "geant");
+  if (topo == "geant") return net::geant();
+  if (topo == "mesh")
+    return net::full_mesh(static_cast<std::size_t>(args.get_int("nodes", 8)));
+  if (topo == "tor") {
+    const auto n = static_cast<std::size_t>(args.get_int("nodes", 16));
+    return net::random_regular(n, std::max<std::size_t>(3, n / 4), 7);
+  }
+  if (topo == "wan") {
+    const auto n = static_cast<std::size_t>(args.get_int("nodes", 30));
+    return net::sparse_wan(n, n + n / 4, 7);
+  }
+  throw std::invalid_argument("unknown --topology " + topo);
+}
+
+traffic::TrafficTrace make_traffic(const util::Args& args, std::size_t nodes) {
+  const std::string topo = args.get_or("topology", "geant");
+  const std::string kind =
+      args.get_or("traffic", topo == "geant" || topo == "wan" ? "wan" : "tor");
+  const auto len = static_cast<std::size_t>(args.get_int("snapshots", 240));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (kind == "wan") return traffic::wan_trace(nodes, len, seed);
+  if (kind == "gravity") return traffic::gravity_trace(nodes, len, seed);
+  if (kind == "tor") return traffic::dc_tor_trace(nodes, len, seed);
+  if (kind == "pod") return traffic::dc_pod_trace(nodes, 4, len, seed);
+  if (kind == "pfabric") return traffic::pfabric_trace(nodes, len, seed);
+  throw std::invalid_argument("unknown --traffic " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    if (args.get_bool("help") || args.get_bool("list")) {
+      print_usage();
+      return 0;
+    }
+
+    const net::Graph graph = make_graph(args);
+    const auto per_pair =
+        args.get_bool("racke")
+            ? net::racke_style_paths(graph, {})
+            : net::all_pairs_k_shortest(graph, 3);
+    const te::PathSet paths = te::PathSet::build(graph, per_pair);
+    const traffic::TrafficTrace trace = make_traffic(args, graph.num_nodes());
+
+    std::cout << "topology: " << graph.num_nodes() << " nodes / "
+              << graph.num_edges() << " arcs; " << paths.num_paths()
+              << " candidate paths; trace: " << trace.size()
+              << " snapshots\n";
+
+    te::Harness::Options hopt;
+    hopt.eval_stride = static_cast<std::size_t>(args.get_int("stride", 2));
+    hopt.max_window = 16;
+    te::Harness harness(paths, trace, hopt);
+
+    te::FigretOptions fopt;
+    fopt.history = static_cast<std::size_t>(args.get_int("history", 8));
+    fopt.epochs = static_cast<std::size_t>(args.get_int("epochs", 15));
+    fopt.hidden = {128, 128, 128};
+    fopt.robust_weight = args.get_double("robust-weight", 4.0);
+
+    const std::string scheme_name = args.get_or("scheme", "figret");
+    std::unique_ptr<te::TeScheme> scheme;
+    te::SchemeEval result;
+    if (scheme_name == "figret" || scheme_name == "dote") {
+      auto fig = std::make_unique<te::FigretScheme>(
+          paths, scheme_name == "dote" ? te::dote_options(fopt) : fopt,
+          scheme_name == "dote" ? "DOTE" : "FIGRET");
+      result = harness.evaluate(*fig);
+      if (const auto path = args.get("save")) {
+        nn::save_mlp_file(fig->model(), *path);
+        std::cout << "model saved to " << *path << " ("
+                  << fig->model().num_parameters() << " parameters)\n";
+      }
+      scheme = std::move(fig);
+    } else if (scheme_name == "teal") {
+      auto s = std::make_unique<te::TealLikeTe>(paths);
+      result = harness.evaluate(*s);
+      scheme = std::move(s);
+    } else if (scheme_name == "des") {
+      auto s = std::make_unique<te::DesensitizationTe>(paths);
+      result = harness.evaluate(*s);
+      scheme = std::move(s);
+    } else if (scheme_name == "pred") {
+      auto s = std::make_unique<te::PredictionTe>(paths);
+      result = harness.evaluate(*s);
+      scheme = std::move(s);
+    } else if (scheme_name == "heuristic") {
+      auto s = std::make_unique<te::HeuristicFTe>(paths);
+      result = harness.evaluate(*s);
+      scheme = std::move(s);
+    } else if (scheme_name == "twostage") {
+      auto s = std::make_unique<te::TwoStageTe>(
+          paths, std::make_unique<traffic::EwmaPredictor>(0.4));
+      result = harness.evaluate(*s);
+      scheme = std::move(s);
+    } else if (scheme_name == "oblivious") {
+      te::ObliviousOptions oopt;
+      oopt.time_budget_seconds = args.get_double("budget", 60.0);
+      auto s = std::make_unique<te::ObliviousTe>(paths, oopt);
+      s->fit(harness.train_trace());
+      result = harness.evaluate_config(
+          s->result().converged ? "Oblivious" : "Oblivious (budget hit)",
+          s->advise({}));
+      scheme = std::move(s);
+    } else if (scheme_name == "cope") {
+      te::CopeOptions copt;
+      copt.oblivious.time_budget_seconds = args.get_double("budget", 60.0);
+      auto s = std::make_unique<te::CopeTe>(paths, copt);
+      s->fit(harness.train_trace());
+      result = harness.evaluate_config(
+          s->result().converged ? "COPE" : "COPE (budget hit)", s->advise({}));
+      scheme = std::move(s);
+    } else {
+      std::cerr << "unknown --scheme " << scheme_name << "\n";
+      print_usage();
+      return 2;
+    }
+
+    const util::BoxStats s = result.stats();
+    util::Table t({"metric", "value"});
+    t.add_row({"scheme", result.name});
+    t.add_row({"eval snapshots", std::to_string(result.normalized.size())});
+    t.add_row({"avg normalized MLU", util::fmt(result.average(), 4)});
+    t.add_row({"median", util::fmt(s.median, 4)});
+    t.add_row({"p90", util::fmt(s.p90, 4)});
+    t.add_row({"p99", util::fmt(s.p99, 4)});
+    t.add_row({"max", util::fmt(s.max, 4)});
+    t.add_row({"severe (>2x)", std::to_string(result.severe_congestion)});
+    t.add_row({"advise time (ms)",
+               util::fmt(result.mean_advise_seconds * 1e3, 3)});
+    t.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

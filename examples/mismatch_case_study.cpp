@@ -1,0 +1,114 @@
+// Case studies from Appendix G (Figures 19 & 20):
+//
+// (1) The prediction-objective mismatch: two traffic predictions with the
+//     SAME mean-squared error lead to different MLUs, because network
+//     topology weights errors unevenly — accurate prediction is the wrong
+//     objective for TE.
+// (2) The DOTE limitation: a pair that was stable throughout the history
+//     window suddenly bursts; a pure-MLU scheme had parked it on a highly
+//     sensitive path, so the burst causes severe congestion, while FIGRET's
+//     variance-weighted sensitivity penalty keeps the damage bounded.
+#include <iostream>
+
+#include "net/yen.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace figret;
+
+// Figure 19's topology: s -> t1 (thin, 50) and s -> t2 (fat, 100), each with
+// a relief path through r.
+void prediction_mismatch() {
+  std::cout << "--- Case 1: equal prediction error, unequal MLU (Fig 19) ---\n";
+  net::Graph g(4);  // 0 = s, 1 = t1, 2 = t2, 3 = r
+  g.add_link(0, 1, 50.0);
+  g.add_link(0, 2, 100.0);
+  g.add_link(0, 3, 50.0);
+  g.add_link(3, 1, 50.0);
+  g.add_link(3, 2, 100.0);
+  const te::PathSet ps =
+      te::PathSet::build(g, net::all_pairs_k_shortest(g, 2));
+
+  const std::size_t p1 = traffic::pair_index(4, 0, 1);
+  const std::size_t p2 = traffic::pair_index(4, 0, 2);
+  auto demand = [&](double d1, double d2) {
+    traffic::DemandMatrix dm(4);
+    dm[p1] = d1;
+    dm[p2] = d2;
+    return dm;
+  };
+
+  const traffic::DemandMatrix upcoming = demand(60, 60);
+  // Two predictions with identical MSE vs (60, 60): off by 10 on one pair.
+  const traffic::DemandMatrix pred_a = demand(50, 60);
+  const traffic::DemandMatrix pred_b = demand(60, 50);
+
+  util::Table t({"prediction", "MSE", "MLU on upcoming (60,60)"});
+  for (const auto& [label, pred] :
+       {std::pair<const char*, const traffic::DemandMatrix*>{"(50, 60)",
+                                                             &pred_a},
+        {"(60, 50)", &pred_b}}) {
+    const te::MluLpResult r = te::solve_mlu_lp(ps, *pred);
+    const double achieved =
+        te::mlu(ps, upcoming, te::normalize_config(ps, r.config));
+    t.add_row({label, "50", util::fmt(achieved, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "Mispredicting the demand on the FAT path (s->t2) is cheap; "
+               "the same\nerror on the thin path is not — MSE cannot see "
+               "the difference.\n\n";
+}
+
+// Figure 20's story on the triangle: a stable-looking pair bursts.
+void dote_limitation() {
+  std::cout << "--- Case 2: stable history, sudden burst (Fig 20) ---\n";
+  net::Graph g(3);
+  g.add_link(0, 1, 2.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(0, 2, 2.0);
+  const te::PathSet ps =
+      te::PathSet::build(g, net::all_pairs_k_shortest(g, 2));
+  const std::size_t bc = traffic::pair_index(3, 1, 2);
+  auto demand = [&](double b) {
+    traffic::DemandMatrix dm(3);
+    dm[traffic::pair_index(3, 0, 1)] = 1.0;
+    dm[traffic::pair_index(3, 0, 2)] = 1.0;
+    dm[bc] = b;
+    return dm;
+  };
+
+  // Window traffic: B->C steady at 0.2 => a pure-MLU scheme concentrates it
+  // on the direct path (max sensitivity). Then it bursts to 4.
+  const te::MluLpResult window_opt = te::solve_mlu_lp(ps, demand(0.2));
+  const te::TeConfig mlu_only = te::normalize_config(ps, window_opt.config);
+  // FIGRET-style hedge for the bursty pair: spread B->C.
+  te::TeConfig hedged = mlu_only;
+  for (std::size_t p = ps.pair_begin(bc); p < ps.pair_end(bc); ++p)
+    hedged[p] = ps.path_edges(p).size() == 1 ? 0.625 : 0.375;
+
+  util::Table t({"config", "S^max(B->C)", "MLU window (b=0.2)",
+                 "MLU burst (b=4)"});
+  for (const auto& [label, cfg] :
+       {std::pair<const char*, const te::TeConfig*>{"pure-MLU (DOTE-like)",
+                                                    &mlu_only},
+        {"sensitivity-hedged (FIGRET-like)", &hedged}}) {
+    const auto smax = te::max_pair_sensitivities(ps, *cfg);
+    t.add_row({label, util::fmt(smax[bc], 4),
+               util::fmt(te::mlu(ps, demand(0.2), *cfg), 4),
+               util::fmt(te::mlu(ps, demand(4.0), *cfg), 4)});
+  }
+  t.print(std::cout);
+  std::cout << "The window gave no warning; only the sensitivity penalty "
+               "bounded the damage.\n";
+}
+
+}  // namespace
+
+int main() {
+  prediction_mismatch();
+  dote_limitation();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The paper's Figure 3 triangle, interactive version: explore how the split
+// ratio of the bursty B->C demand trades normal-case MLU against burst-case
+// MLU, and where FIGRET's fine-grained solution lands.
+//
+// Usage: tradeoff_triangle [bc_direct_ratio]
+//   bc_direct_ratio — fraction of B->C traffic on its direct path
+//                     (default sweep over 0.5 .. 1.0)
+#include <cstdlib>
+#include <iostream>
+
+#include "net/yen.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace figret;
+
+  net::Graph g(3);
+  g.add_link(0, 1, 2.0);  // A-B
+  g.add_link(1, 2, 2.0);  // B-C
+  g.add_link(0, 2, 2.0);  // A-C
+  const te::PathSet ps =
+      te::PathSet::build(g, net::all_pairs_k_shortest(g, 2));
+
+  const std::size_t ab = traffic::pair_index(3, 0, 1);
+  const std::size_t ac = traffic::pair_index(3, 0, 2);
+  const std::size_t bc = traffic::pair_index(3, 1, 2);
+
+  auto demand = [&](double a, double c, double b) {
+    traffic::DemandMatrix dm(3);
+    dm[ab] = a;
+    dm[ac] = c;
+    dm[bc] = b;
+    return dm;
+  };
+  auto config = [&](double bc_direct) {
+    te::TeConfig cfg = te::uniform_config(ps);
+    auto assign = [&](std::size_t pr, double direct) {
+      for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+        cfg[p] = ps.path_edges(p).size() == 1 ? direct : 1.0 - direct;
+    };
+    assign(ab, 1.0);
+    assign(ac, 1.0);
+    assign(bc, bc_direct);
+    return cfg;
+  };
+
+  std::cout << "Triangle A(0) / B(1) / C(2), all arcs capacity 2.\n"
+               "Demands: A->B = A->C = 1 always; B->C = 1 normally, "
+               "4 when bursting.\n\n";
+
+  std::vector<double> sweep;
+  if (argc > 1) {
+    sweep.push_back(std::atof(argv[1]));
+  } else {
+    for (double r = 0.5; r <= 1.0 + 1e-9; r += 0.125) sweep.push_back(r);
+  }
+
+  util::Table t({"B->C direct ratio", "normal MLU", "burst MLU",
+                 "max(normal, burst/2)"});
+  for (double r : sweep) {
+    const te::TeConfig cfg = config(r);
+    const double normal = te::mlu(ps, demand(1, 1, 1), cfg);
+    const double burst = te::mlu(ps, demand(1, 1, 4), cfg);
+    t.add_row_numeric(util::fmt(r, 3), {normal, burst,
+                                        std::max(normal, burst / 2.0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe paper's TE scheme 3 uses ratio 0.625: normal 0.6875, "
+               "burst 1.25 —\nhedging only the demand that actually bursts "
+               "(fine-grained robustness).\n";
+  return 0;
+}

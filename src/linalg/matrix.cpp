@@ -1,0 +1,148 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace figret::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::vector<double> data) {
+  if (data.size() != rows * cols)
+    throw std::invalid_argument("Matrix::from_rows: size mismatch");
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop stride-1 on both inputs.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * out.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::t_matmul(const Matrix& other) const {
+  if (rows_ != other.rows_)
+    throw std::invalid_argument("Matrix::t_matmul: dimension mismatch");
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* arow = data_.data() + k * cols_;
+    const double* brow = other.data_.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.data_.data() + i * out.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_t(const Matrix& other) const {
+  if (cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::matmul_t: dimension mismatch");
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = other.data_.data() + j * other.cols_;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::hadamard(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::hadamard: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size())
+    throw std::invalid_argument("matvec: dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace figret::linalg

@@ -1,0 +1,82 @@
+// Minimal dense row-major matrix used by the neural-network substrate and by
+// small analytic computations. Deliberately not a general linear-algebra
+// framework: only the kernels the repository needs, each with checked
+// dimensions (throws std::invalid_argument on mismatch).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace figret::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+  /// Builds from row-major data; requires data.size() == rows*cols.
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<double> data);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+
+  Matrix transposed() const;
+
+  /// this * other. Requires cols() == other.rows().
+  Matrix matmul(const Matrix& other) const;
+  /// transpose(this) * other. Requires rows() == other.rows().
+  Matrix t_matmul(const Matrix& other) const;
+  /// this * transpose(other). Requires cols() == other.cols().
+  Matrix matmul_t(const Matrix& other) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  /// Element-wise (Hadamard) product in place.
+  Matrix& hadamard(const Matrix& other);
+
+  double frobenius_norm() const noexcept;
+  double max_abs() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+
+/// y = A x for a row-major matrix and dense vector (checked dimensions).
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// Dot product over the common prefix of the two spans.
+double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// y += alpha * x over the common prefix.
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept;
+
+}  // namespace figret::linalg

@@ -1,0 +1,90 @@
+// Self-contained linear-programming solver (no external dependencies).
+//
+// The paper's baselines (Omniscient TE, Demand-prediction TE, Google's
+// Desensitization/"Hedging" TE, Oblivious TE, COPE) all reduce to LPs that
+// the authors solved with Gurobi. This module replaces Gurobi with a
+// two-phase primal simplex on a dense tableau with native support for
+// variable upper bounds, which is what the sensitivity-capped TE LPs need
+// (a cap `r_p <= F(s,d) * C_p` is a variable bound, not an extra row).
+//
+// Scope and limits (documented, asserted by tests):
+//  * minimization only (callers negate for max);
+//  * all variables have lower bound 0 and optional finite upper bound;
+//  * Dantzig pricing with an automatic switch to Bland's rule for
+//    anti-cycling after a pivot budget is exhausted;
+//  * detects infeasibility (phase-1 residual) and unboundedness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace figret::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Relation { kLessEq, kEq, kGreaterEq };
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// One nonzero coefficient of a constraint row.
+struct Term {
+  std::size_t var = 0;
+  double coeff = 0.0;
+};
+
+/// LP in the form: minimize c'x subject to rows, 0 <= x <= ub.
+class LpProblem {
+ public:
+  /// Adds a variable with objective coefficient `obj` and upper bound `upper`
+  /// (kInfinity for unbounded above). Returns the variable index.
+  std::size_t add_variable(double obj = 0.0, double upper = kInfinity);
+
+  /// Adds a constraint `sum(terms) rel rhs`. Duplicate vars in `terms` are
+  /// accumulated.
+  void add_constraint(std::vector<Term> terms, Relation rel, double rhs);
+
+  void set_objective(std::size_t var, double coeff);
+  void set_upper_bound(std::size_t var, double upper);
+
+  std::size_t num_variables() const noexcept { return obj_.size(); }
+  std::size_t num_constraints() const noexcept { return rows_.size(); }
+
+  const std::vector<double>& objective() const noexcept { return obj_; }
+  const std::vector<double>& upper_bounds() const noexcept { return ub_; }
+
+  struct Row {
+    std::vector<Term> terms;
+    Relation rel = Relation::kLessEq;
+    double rhs = 0.0;
+  };
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+ private:
+  std::vector<double> obj_;
+  std::vector<double> ub_;
+  std::vector<Row> rows_;
+};
+
+struct SolveOptions {
+  /// Hard pivot cap; kIterationLimit is returned when exhausted.
+  std::size_t max_iterations = 200000;
+  /// Pivots before switching from Dantzig to Bland's rule.
+  std::size_t bland_after = 20000;
+  double pivot_tolerance = 1e-9;
+  double feasibility_tolerance = 1e-7;
+};
+
+struct LpResult {
+  Status status = Status::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t iterations = 0;
+
+  bool optimal() const noexcept { return status == Status::kOptimal; }
+};
+
+/// Solves the LP. The result vector `x` is populated only when optimal.
+LpResult solve(const LpProblem& problem, const SolveOptions& options = {});
+
+}  // namespace figret::lp

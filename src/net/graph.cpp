@@ -1,0 +1,114 @@
+#include "net/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace figret::net {
+
+Graph::Graph(std::size_t num_nodes) : out_(num_nodes) {}
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst, double capacity) {
+  if (src >= num_nodes() || dst >= num_nodes())
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  if (src == dst) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (capacity <= 0.0)
+    throw std::invalid_argument("Graph::add_edge: capacity must be > 0");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, capacity});
+  out_[src].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_link(NodeId a, NodeId b, double capacity) {
+  const EdgeId first = add_edge(a, b, capacity);
+  add_edge(b, a, capacity);
+  return first;
+}
+
+EdgeId Graph::find_edge(NodeId src, NodeId dst) const noexcept {
+  if (src < num_nodes()) {
+    for (EdgeId e : out_[src])
+      if (edges_[e].dst == dst) return e;
+  }
+  return static_cast<EdgeId>(num_edges());
+}
+
+bool Graph::strongly_connected() const {
+  const std::size_t n = num_nodes();
+  if (n == 0) return true;
+
+  auto reaches_all = [&](auto&& next_of) {
+    std::vector<bool> seen(n, false);
+    std::vector<NodeId> stack{0};
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      next_of(v, [&](NodeId w) {
+        if (!seen[w]) {
+          seen[w] = true;
+          ++count;
+          stack.push_back(w);
+        }
+      });
+    }
+    return count == n;
+  };
+
+  const bool forward = reaches_all([&](NodeId v, auto&& visit) {
+    for (EdgeId e : out_[v]) visit(edges_[e].dst);
+  });
+  if (!forward) return false;
+
+  // Reverse reachability via a reverse adjacency scan.
+  std::vector<std::vector<NodeId>> rev(n);
+  for (const Edge& e : edges_) rev[e.dst].push_back(e.src);
+  return reaches_all([&](NodeId v, auto&& visit) {
+    for (NodeId w : rev[v]) visit(w);
+  });
+}
+
+double Graph::min_capacity() const noexcept {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const Edge& e : edges_) lo = std::min(lo, e.capacity);
+  return edges_.empty() ? 0.0 : lo;
+}
+
+void Graph::normalize_capacities() {
+  const double lo = min_capacity();
+  if (lo <= 0.0) return;
+  for (Edge& e : edges_) e.capacity /= lo;
+}
+
+double path_capacity(const Graph& g, const Path& p) {
+  double cap = std::numeric_limits<double>::infinity();
+  for (EdgeId e : p.edges) cap = std::min(cap, g.edge(e).capacity);
+  return p.edges.empty() ? 0.0 : cap;
+}
+
+bool valid_path(const Graph& g, const Path& p, NodeId src, NodeId dst) {
+  if (p.nodes.size() != p.edges.size() + 1) return false;
+  if (p.nodes.empty() || p.nodes.front() != src || p.nodes.back() != dst)
+    return false;
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    const Edge& e = g.edge(p.edges[i]);
+    if (e.src != p.nodes[i] || e.dst != p.nodes[i + 1]) return false;
+    if (seen[p.nodes[i]]) return false;
+    seen[p.nodes[i]] = true;
+  }
+  return !seen[dst];
+}
+
+std::string to_string(const Path& p) {
+  std::string s;
+  for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+    if (i) s += "->";
+    s += std::to_string(p.nodes[i]);
+  }
+  return s;
+}
+
+}  // namespace figret::net

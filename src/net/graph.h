@@ -1,0 +1,78 @@
+// Directed capacitated graph: the substrate for every topology in the paper
+// (Table 1). Links are directed arcs with individual capacities; undirected
+// physical links are modeled as two arcs (the convention the paper uses when
+// it counts GEANT as 23 nodes / 74 edges).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace figret::net {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double capacity = 0.0;
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes = 0);
+
+  /// Adds a directed arc; returns its id. Capacity must be > 0.
+  EdgeId add_edge(NodeId src, NodeId dst, double capacity);
+
+  /// Adds both directions with the same capacity; returns the first id.
+  EdgeId add_link(NodeId a, NodeId b, double capacity);
+
+  std::size_t num_nodes() const noexcept { return out_.size(); }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Outgoing arc ids of a node, in insertion order (deterministic).
+  std::span<const EdgeId> out_edges(NodeId v) const { return out_.at(v); }
+
+  /// Looks up the arc src->dst; returns num_edges() when absent.
+  EdgeId find_edge(NodeId src, NodeId dst) const noexcept;
+
+  /// True if every node can reach every other node (directed).
+  bool strongly_connected() const;
+
+  /// Smallest arc capacity; 0 for an edgeless graph.
+  double min_capacity() const noexcept;
+
+  /// Divides every capacity by the minimum so the smallest becomes 1
+  /// (the normalization the paper applies in Fig 8 / Appendix C).
+  void normalize_capacities();
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+/// A simple (loop-free) path: node sequence plus the arc ids between them.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  std::size_t hops() const noexcept { return edges.size(); }
+  bool empty() const noexcept { return edges.empty(); }
+};
+
+/// Path capacity C_p = min edge capacity along the path (paper §3).
+double path_capacity(const Graph& g, const Path& p);
+
+/// True if the path is simple, consistent with the graph, and connects
+/// its endpoints (used by tests and debug assertions).
+bool valid_path(const Graph& g, const Path& p, NodeId src, NodeId dst);
+
+std::string to_string(const Path& p);
+
+}  // namespace figret::net

@@ -1,0 +1,95 @@
+#include "net/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace figret::net {
+namespace {
+
+constexpr const char* kHeaderPrefix = "figret-graph,v1,";
+
+std::runtime_error parse_error(std::size_t line_no, const char* what) {
+  return std::runtime_error("load_graph: " + std::string(what) + " at line " +
+                            std::to_string(line_no));
+}
+
+}  // namespace
+
+void save_graph(const Graph& g, std::ostream& os) {
+  os << kHeaderPrefix << g.num_nodes() << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const Edge& e : g.edges())
+    os << e.src << ',' << e.dst << ',' << e.capacity << '\n';
+  if (!os) throw std::runtime_error("save_graph: write failure");
+}
+
+void save_graph_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph_file: cannot open " + path);
+  save_graph(g, out);
+}
+
+Graph load_graph(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("load_graph: empty input");
+  if (line.rfind(kHeaderPrefix, 0) != 0)
+    throw std::runtime_error("load_graph: bad header");
+  std::size_t n = 0;
+  {
+    const std::string tail = line.substr(std::string(kHeaderPrefix).size());
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), n);
+    if (ec != std::errc{} || n == 0)
+      throw std::runtime_error("load_graph: bad node count in header");
+    (void)ptr;
+  }
+
+  Graph g(n);
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    const char* begin = line.data();
+    const char* end = line.data() + line.size();
+    NodeId src = 0, dst = 0;
+    double cap = 0.0;
+
+    auto [p1, e1] = std::from_chars(begin, end, src);
+    if (e1 != std::errc{} || p1 == end || *p1 != ',')
+      throw parse_error(line_no, "bad source node");
+    auto [p2, e2] = std::from_chars(p1 + 1, end, dst);
+    if (e2 != std::errc{} || p2 == end || *p2 != ',')
+      throw parse_error(line_no, "bad destination node");
+    auto [p3, e3] = std::from_chars(p2 + 1, end, cap);
+    if (e3 != std::errc{} || p3 != end)
+      throw parse_error(line_no, "bad capacity");
+
+    if (src >= n || dst >= n) throw parse_error(line_no, "node out of range");
+    if (src == dst) throw parse_error(line_no, "self-loop");
+    if (cap <= 0.0) throw parse_error(line_no, "non-positive capacity");
+    g.add_edge(src, dst, cap);
+  }
+  return g;
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
+  return load_graph(in);
+}
+
+void write_dot(const Graph& g, std::ostream& os) {
+  os << "digraph topology {\n";
+  for (const Edge& e : g.edges())
+    os << "  " << e.src << " -> " << e.dst << " [label=\"" << e.capacity
+       << "\"];\n";
+  os << "}\n";
+}
+
+}  // namespace figret::net

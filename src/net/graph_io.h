@@ -1,0 +1,28 @@
+// Topology file I/O.
+//
+// Edge-list format compatible with how Topology Zoo graphs are usually
+// distributed once flattened: a header "figret-graph,v1,<num_nodes>", then
+// one directed arc per line as "src,dst,capacity". An exporter to Graphviz
+// DOT is included for quick visual inspection of generated fabrics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/graph.h"
+
+namespace figret::net {
+
+/// Writes the arc list; throws std::runtime_error on I/O failure.
+void save_graph(const Graph& g, std::ostream& os);
+void save_graph_file(const Graph& g, const std::string& path);
+
+/// Reads a graph written by save_graph (or hand-authored in the same
+/// format). Throws std::runtime_error on malformed input.
+Graph load_graph(std::istream& is);
+Graph load_graph_file(const std::string& path);
+
+/// Graphviz DOT export (directed; capacities as edge labels).
+void write_dot(const Graph& g, std::ostream& os);
+
+}  // namespace figret::net

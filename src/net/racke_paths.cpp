@@ -1,0 +1,109 @@
+#include "net/racke_paths.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "net/yen.h"
+
+namespace figret::net {
+namespace {
+
+/// Dijkstra under real-valued edge costs, deterministic tie-breaking by
+/// node id. Returns an empty path when unreachable.
+Path dijkstra(const Graph& g, NodeId src, NodeId dst,
+              const std::vector<double>& cost) {
+  const std::size_t n = g.num_nodes();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<EdgeId> parent(n, 0xFFFFFFFFu);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    if (v == dst) break;
+    for (EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      const double nd = d + cost[e];
+      if (nd < dist[w] - 1e-15 ||
+          (nd < dist[w] + 1e-15 && parent[w] != 0xFFFFFFFFu &&
+           v < g.edge(parent[w]).src)) {
+        dist[w] = nd;
+        parent[w] = e;
+        heap.push({nd, w});
+      }
+    }
+  }
+  Path p;
+  if (dist[dst] == kInf) return p;
+  NodeId v = dst;
+  while (v != src) {
+    p.edges.push_back(parent[v]);
+    p.nodes.push_back(v);
+    v = g.edge(parent[v]).src;
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::vector<Path>> racke_style_paths(
+    const Graph& g, const RackePathOptions& options) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t rounds = std::max(options.rounds, options.paths_per_pair);
+  std::vector<std::vector<Path>> out(n * n);
+
+  // Seen node-sequences per pair, to keep the path sets distinct.
+  std::vector<std::set<std::vector<NodeId>>> seen(n * n);
+
+  std::vector<double> load(g.num_edges(), 0.0);
+  std::vector<double> cost(g.num_edges(), 0.0);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const double cap = g.edge(e).capacity;
+      // Base cost 1/cap prefers fat links; the exponential term penalizes
+      // congestion accumulated in earlier rounds.
+      cost[e] = (1.0 / cap) * std::exp(options.penalty_growth * load[e] / cap);
+    }
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (s == d) continue;
+        Path p = dijkstra(g, s, d, cost);
+        if (p.empty()) continue;
+        for (EdgeId e : p.edges) load[e] += 1.0;
+        auto& bucket = out[s * n + d];
+        if (bucket.size() >= options.paths_per_pair) continue;
+        if (seen[s * n + d].insert(p.nodes).second)
+          bucket.push_back(std::move(p));
+      }
+    }
+  }
+
+  // Guarantee coverage: any pair left without the requested path count is
+  // topped up from Yen's paths (can happen on very sparse WANs where the
+  // penalized paths keep collapsing onto one route).
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      auto& bucket = out[s * n + d];
+      if (bucket.size() >= options.paths_per_pair) continue;
+      for (auto& p : k_shortest_paths(g, s, d, options.paths_per_pair)) {
+        if (bucket.size() >= options.paths_per_pair) break;
+        if (seen[s * n + d].insert(p.nodes).second)
+          bucket.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace figret::net

@@ -1,0 +1,209 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace figret::net {
+namespace {
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  double cap;
+};
+
+Graph build_undirected(std::size_t nodes, const std::vector<Link>& links) {
+  Graph g(nodes);
+  for (const Link& l : links) g.add_link(l.a, l.b, l.cap);
+  g.normalize_capacities();
+  return g;
+}
+
+}  // namespace
+
+Graph geant() {
+  // Embedded approximation of the 2006 GEANT research network used by the
+  // TOTEM traffic-matrix dataset: 23 national nodes, 37 undirected links
+  // (74 arcs). Core links (dense Western-European mesh) carry 4x the spur
+  // capacity, mirroring the 10G / 2.5G capacity classes of the real network.
+  constexpr double kCore = 4.0;
+  constexpr double kSpur = 1.0;
+  const std::vector<Link> links = {
+      // Western core mesh.
+      {0, 1, kCore},  {0, 4, kCore},  {0, 15, kSpur}, {0, 8, kCore},
+      {0, 2, kCore},  {1, 5, kCore},  {1, 6, kCore},  {1, 12, kCore},
+      {2, 4, kCore},  {2, 5, kCore},  {2, 7, kCore},  {2, 9, kSpur},
+      {2, 8, kCore},  {2, 10, kSpur}, {3, 5, kCore},  {3, 7, kCore},
+      {3, 14, kSpur}, {3, 6, kCore},  {4, 12, kCore}, {4, 8, kCore},
+      // Southern and eastern spurs.
+      {6, 13, kSpur}, {7, 11, kSpur}, {7, 10, kSpur}, {7, 19, kSpur},
+      {8, 16, kSpur}, {8, 17, kSpur}, {9, 18, kSpur}, {10, 20, kSpur},
+      {11, 21, kSpur}, {14, 22, kSpur},
+      // Redundancy links closing the ring structure.
+      {12, 2, kCore}, {16, 17, kSpur}, {9, 10, kSpur}, {11, 19, kSpur},
+      {14, 11, kSpur}, {22, 3, kSpur}, {18, 8, kSpur},
+  };
+  return build_undirected(23, links);
+}
+
+Graph sparse_wan(std::size_t nodes, std::size_t links, std::uint64_t seed,
+                 bool heterogeneous_capacity) {
+  if (nodes < 2) throw std::invalid_argument("sparse_wan: need >= 2 nodes");
+  if (links < nodes - 1)
+    throw std::invalid_argument("sparse_wan: too few links to connect");
+  util::Rng rng(seed);
+
+  std::vector<Link> out;
+  out.reserve(links);
+  std::set<std::pair<NodeId, NodeId>> used;
+  std::vector<std::size_t> degree(nodes, 0);
+
+  auto cap_of = [&]() {
+    return heterogeneous_capacity ? (rng.bernoulli(0.3) ? 4.0 : 1.0) : 1.0;
+  };
+  auto add = [&](NodeId a, NodeId b) {
+    const auto key = std::minmax(a, b);
+    if (a == b || used.count({key.first, key.second})) return false;
+    used.insert({key.first, key.second});
+    out.push_back(Link{a, b, cap_of()});
+    ++degree[a];
+    ++degree[b];
+    return true;
+  };
+
+  // Random attachment tree guarantees connectivity; WAN-like long chains
+  // emerge because attachment is biased toward recent nodes.
+  for (NodeId v = 1; v < nodes; ++v) {
+    const auto lo = v > 8 ? v - 8 : 0;
+    const NodeId u =
+        static_cast<NodeId>(lo + rng.uniform_index(v - lo));
+    add(u, v);
+  }
+  // Extra shortcut links with a soft degree cap of 8 (real carrier WANs are
+  // sparse with a handful of hub nodes).
+  std::size_t guard = links * 200;
+  while (out.size() < links && guard-- > 0) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_index(nodes));
+    const NodeId b = static_cast<NodeId>(rng.uniform_index(nodes));
+    if (degree[a] >= 8 || degree[b] >= 8) continue;
+    add(a, b);
+  }
+  if (out.size() < links)
+    throw std::runtime_error("sparse_wan: could not place all links");
+  return build_undirected(nodes, out);
+}
+
+Graph uscarrier(std::uint64_t seed) {
+  // Table 1: 158 nodes, 378 arcs = 189 undirected links.
+  return sparse_wan(158, 189, seed);
+}
+
+Graph cogentco(std::uint64_t seed) {
+  // Table 1: 197 nodes, 486 arcs = 243 undirected links.
+  return sparse_wan(197, 243, seed);
+}
+
+Graph full_mesh(std::size_t n, double capacity) {
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) g.add_edge(a, b, capacity);
+  return g;
+}
+
+Graph random_regular(std::size_t n, std::size_t degree, std::uint64_t seed) {
+  if (degree >= n)
+    throw std::invalid_argument("random_regular: degree must be < n");
+  if ((n * degree) % 2 != 0)
+    throw std::invalid_argument("random_regular: n*degree must be even");
+  util::Rng rng(seed);
+
+  // Stub matching (configuration model) with local swap repair for
+  // self-loops and duplicate links.
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * degree);
+  for (NodeId v = 0; v < n; ++v)
+    for (std::size_t k = 0; k < degree; ++k) stubs.push_back(v);
+
+  using Pair = std::pair<NodeId, NodeId>;
+  auto key_of = [](const Pair& pr) {
+    const auto [lo, hi] = std::minmax(pr.first, pr.second);
+    return Pair{lo, hi};
+  };
+
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const auto perm = rng.permutation(stubs.size());
+    std::vector<Pair> pairs;
+    pairs.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+      pairs.emplace_back(stubs[perm[i]], stubs[perm[i + 1]]);
+
+    // A pairing is valid when no pair is a self-loop and no undirected link
+    // appears twice. Repair conflicts by endpoint swaps that strictly reduce
+    // the conflict count; restart from a fresh shuffle if repair stalls.
+    auto count_conflicts = [&](const std::vector<Pair>& ps,
+                               std::multiset<Pair>& keys) {
+      keys.clear();
+      std::size_t bad = 0;
+      for (const Pair& pr : ps) keys.insert(key_of(pr));
+      for (const Pair& pr : ps) {
+        if (pr.first == pr.second || keys.count(key_of(pr)) > 1) ++bad;
+      }
+      return bad;
+    };
+
+    std::multiset<Pair> keys;
+    std::size_t conflicts = count_conflicts(pairs, keys);
+    std::size_t stalls = 0;
+    while (conflicts > 0 && stalls < 20000) {
+      // Pick a conflicted pair and a random partner; swap second endpoints.
+      std::size_t i = rng.uniform_index(pairs.size());
+      std::size_t probes = 0;
+      while (!(pairs[i].first == pairs[i].second ||
+               keys.count(key_of(pairs[i])) > 1)) {
+        i = rng.uniform_index(pairs.size());
+        if (++probes > pairs.size() * 4) break;
+      }
+      const std::size_t j = rng.uniform_index(pairs.size());
+      if (i == j) {
+        ++stalls;
+        continue;
+      }
+      std::swap(pairs[i].second, pairs[j].second);
+      const std::size_t after = count_conflicts(pairs, keys);
+      if (after < conflicts) {
+        conflicts = after;
+        stalls = 0;
+      } else {
+        std::swap(pairs[i].second, pairs[j].second);
+        count_conflicts(pairs, keys);
+        ++stalls;
+      }
+    }
+    if (conflicts > 0) continue;
+
+    Graph g(n);
+    for (const auto& pr : pairs) g.add_link(pr.first, pr.second, 1.0);
+    if (g.strongly_connected()) return g;
+  }
+  throw std::runtime_error("random_regular: failed to build a simple graph");
+}
+
+TopologySpec table1_spec(const std::string& name) {
+  // Sizes exactly as printed in the paper's Table 1.
+  if (name == "GEANT") return {name, 23, 74};
+  if (name == "UsCarrier") return {name, 158, 378};
+  if (name == "Cogentco") return {name, 197, 486};
+  if (name == "pFabric") return {name, 9, 72};
+  if (name == "MetaDB-PoD") return {name, 4, 12};
+  if (name == "MetaDB-ToR") return {name, 155, 7194};
+  if (name == "MetaWEB-PoD") return {name, 8, 56};
+  if (name == "MetaWEB-ToR") return {name, 324, 31520};
+  throw std::invalid_argument("table1_spec: unknown topology " + name);
+}
+
+}  // namespace figret::net

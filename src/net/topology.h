@@ -1,0 +1,53 @@
+// Generators for every topology class in the paper's Table 1.
+//
+//   GEANT        WAN, 23 nodes / 74 arcs (real 2006 adjacency embedded)
+//   UsCarrier    WAN, 158 nodes / 378 arcs (synthetic, same size/degree)
+//   Cogentco     WAN, 197 nodes / 486 arcs (synthetic, same size/degree)
+//   pFabric      DC, full mesh of 9 ToRs / 72 arcs
+//   Meta DB/WEB  PoD level: full mesh (4 / 8 PoDs); ToR level: random
+//                regular graph (Jellyfish-style direct-connect fabric)
+//
+// Capacities are normalized so the smallest is 1 (paper Fig 8, Appendix C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/graph.h"
+
+namespace figret::net {
+
+/// The pan-European GEANT research WAN (Table 1 row 1). Core links carry
+/// 4x the capacity of spur links (10G vs 2.5G classes, normalized).
+Graph geant();
+
+/// Synthetic WAN with the exact node/arc count of UsCarrier (158 / 378).
+Graph uscarrier(std::uint64_t seed = 11);
+
+/// Synthetic WAN with the exact node/arc count of Cogentco (197 / 486).
+Graph cogentco(std::uint64_t seed = 13);
+
+/// Sparse connected WAN: random spanning tree + extra links, degree-bounded.
+/// `links` counts undirected links; arcs = 2 * links.
+Graph sparse_wan(std::size_t nodes, std::size_t links, std::uint64_t seed,
+                 bool heterogeneous_capacity = true);
+
+/// Full mesh over `n` switches with unit capacities (pFabric uses n = 9,
+/// Meta PoD-level uses n = 4 / n = 8).
+Graph full_mesh(std::size_t n, double capacity = 1.0);
+
+/// Random d-regular direct-connect ToR fabric (Jellyfish-style), unit
+/// capacities. Requires n*d even, d < n. Stub matching with swap repair.
+Graph random_regular(std::size_t n, std::size_t degree, std::uint64_t seed);
+
+/// Named instances used across benches/tests.
+struct TopologySpec {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t arcs = 0;
+};
+
+/// Table 1 of the paper (expected sizes, asserted by tests).
+TopologySpec table1_spec(const std::string& name);
+
+}  // namespace figret::net

@@ -1,0 +1,140 @@
+#include "net/yen.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace figret::net {
+namespace {
+
+/// Orders paths by hop count, then lexicographically by node sequence, so
+/// Yen's candidate selection is deterministic across platforms.
+bool path_less(const Path& a, const Path& b) {
+  if (a.hops() != b.hops()) return a.hops() < b.hops();
+  return a.nodes < b.nodes;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const std::vector<bool>& edge_banned,
+                                  const std::vector<bool>& node_banned) {
+  const std::size_t n = g.num_nodes();
+  if (src >= n || dst >= n || src == dst) return std::nullopt;
+  if (!node_banned.empty() && (node_banned[src] || node_banned[dst]))
+    return std::nullopt;
+
+  // BFS by hop count; parents chosen so the node sequence is lexicographically
+  // minimal among shortest paths (process neighbors in ascending node order).
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> dist(n, kUnset);
+  std::vector<EdgeId> parent_edge(n, kUnset);
+  std::vector<NodeId> frontier{src};
+  dist[src] = 0;
+
+  while (!frontier.empty() && dist[dst] == kUnset) {
+    // Expand in ascending node order for deterministic lexicographic parents.
+    std::sort(frontier.begin(), frontier.end());
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      // Deterministic neighbor order: sort outgoing arcs by destination.
+      std::vector<EdgeId> out(g.out_edges(v).begin(), g.out_edges(v).end());
+      std::sort(out.begin(), out.end(), [&](EdgeId x, EdgeId y) {
+        return g.edge(x).dst < g.edge(y).dst;
+      });
+      for (EdgeId e : out) {
+        if (!edge_banned.empty() && edge_banned[e]) continue;
+        const NodeId w = g.edge(e).dst;
+        if (!node_banned.empty() && node_banned[w]) continue;
+        if (dist[w] != kUnset) continue;
+        dist[w] = dist[v] + 1;
+        parent_edge[w] = e;
+        next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (dist[dst] == kUnset) return std::nullopt;
+
+  Path p;
+  NodeId v = dst;
+  while (v != src) {
+    const Edge& e = g.edge(parent_edge[v]);
+    p.edges.push_back(parent_edge[v]);
+    p.nodes.push_back(v);
+    v = e.src;
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                   std::size_t k) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = shortest_path(g, src, dst);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool, deduplicated by node sequence.
+  auto cmp = [](const Path& a, const Path& b) { return a.nodes < b.nodes; };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  std::vector<bool> edge_banned(g.num_edges(), false);
+  std::vector<bool> node_banned(g.num_nodes(), false);
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    // Spur from every prefix of the previously found path.
+    for (std::size_t i = 0; i < last.edges.size(); ++i) {
+      const NodeId spur_node = last.nodes[i];
+
+      std::fill(edge_banned.begin(), edge_banned.end(), false);
+      std::fill(node_banned.begin(), node_banned.end(), false);
+
+      // Ban arcs that would recreate an already-found path with this prefix.
+      for (const Path& found : result) {
+        if (found.edges.size() > i &&
+            std::equal(found.nodes.begin(), found.nodes.begin() + i + 1,
+                       last.nodes.begin()))
+          edge_banned[found.edges[i]] = true;
+      }
+      // Ban root-path nodes (except the spur node) to keep paths simple.
+      for (std::size_t j = 0; j < i; ++j) node_banned[last.nodes[j]] = true;
+
+      auto spur = shortest_path(g, spur_node, dst, edge_banned, node_banned);
+      if (!spur) continue;
+
+      Path total;
+      total.nodes.assign(last.nodes.begin(), last.nodes.begin() + i);
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(),
+                         spur->nodes.end());
+      total.edges.assign(last.edges.begin(), last.edges.begin() + i);
+      total.edges.insert(total.edges.end(), spur->edges.begin(),
+                         spur->edges.end());
+      candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+
+    auto best = candidates.begin();
+    for (auto it = std::next(candidates.begin()); it != candidates.end(); ++it)
+      if (path_less(*it, *best)) best = it;
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+std::vector<std::vector<Path>> all_pairs_k_shortest(const Graph& g,
+                                                    std::size_t k) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<Path>> out(n * n);
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId d = 0; d < n; ++d)
+      if (s != d) out[s * n + d] = k_shortest_paths(g, s, d, k);
+  return out;
+}
+
+}  // namespace figret::net

@@ -1,0 +1,34 @@
+// Yen's k-shortest loopless paths.
+//
+// The paper (§5.1) precomputes "the three shortest paths between every pair
+// of nodes" as the candidate paths for flow allocation; this module provides
+// that machinery. Paths are ranked by hop count with deterministic
+// lexicographic tie-breaking so all experiments are reproducible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace figret::net {
+
+/// Shortest path by hop count (ties broken toward lexicographically smaller
+/// node sequences). `edge_banned[e] == true` removes arc e; `node_banned[v]`
+/// removes node v (both optional masks may be empty = nothing banned).
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const std::vector<bool>& edge_banned = {},
+                                  const std::vector<bool>& node_banned = {});
+
+/// Yen's algorithm: up to k shortest simple paths from src to dst, sorted by
+/// (hops, lexicographic node sequence). Fewer than k are returned when the
+/// graph does not contain k distinct simple paths.
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                   std::size_t k);
+
+/// Candidate paths for every ordered SD pair: result[s * n + d] holds the
+/// paths for (s, d); the diagonal entries are empty.
+std::vector<std::vector<Path>> all_pairs_k_shortest(const Graph& g,
+                                                    std::size_t k);
+
+}  // namespace figret::net

@@ -1,0 +1,52 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace figret::nn {
+
+Adam::Adam(const Mlp& model, const AdamConfig& config)
+    : cfg_(config), m_(model.make_gradients()), v_(model.make_gradients()) {}
+
+void Adam::step(Mlp& model, const MlpGradients& grads) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+
+  double scale = 1.0;
+  if (cfg_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const auto& gw : grads.weight)
+      for (double g : gw.flat()) norm_sq += g * g;
+    for (const auto& gb : grads.bias)
+      for (double g : gb) norm_sq += g * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > cfg_.clip_norm) scale = cfg_.clip_norm / norm;
+  }
+
+  auto update = [&](double& param, double grad, double& m, double& v) {
+    grad *= scale;
+    m = cfg_.beta1 * m + (1.0 - cfg_.beta1) * grad;
+    v = cfg_.beta2 * v + (1.0 - cfg_.beta2) * grad * grad;
+    const double mhat = m / bc1;
+    const double vhat = v / bc2;
+    param -= cfg_.learning_rate * mhat / (std::sqrt(vhat) + cfg_.epsilon);
+  };
+
+  for (std::size_t l = 0; l < grads.weight.size(); ++l) {
+    auto wflat = model.weights()[l].flat();
+    auto gflat = grads.weight[l].flat();
+    auto mflat = m_.weight[l].flat();
+    auto vflat = v_.weight[l].flat();
+    for (std::size_t i = 0; i < wflat.size(); ++i)
+      update(wflat[i], gflat[i], mflat[i], vflat[i]);
+
+    auto& b = model.biases()[l];
+    const auto& gb = grads.bias[l];
+    auto& mb = m_.bias[l];
+    auto& vb = v_.bias[l];
+    for (std::size_t i = 0; i < b.size(); ++i)
+      update(b[i], gb[i], mb[i], vb[i]);
+  }
+}
+
+}  // namespace figret::nn

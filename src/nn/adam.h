@@ -1,0 +1,35 @@
+// Adam optimizer (Kingma & Ba, 2014) — the optimizer the paper uses for
+// FIGRET training (Appendix D.4).
+#pragma once
+
+#include "nn/mlp.h"
+
+namespace figret::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Optional global-norm gradient clipping; <= 0 disables.
+  double clip_norm = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(const Mlp& model, const AdamConfig& config = {});
+
+  /// Applies one update from the accumulated gradients (which the caller
+  /// typically averages over a minibatch before calling).
+  void step(Mlp& model, const MlpGradients& grads);
+
+  std::size_t steps_taken() const noexcept { return t_; }
+
+ private:
+  AdamConfig cfg_;
+  MlpGradients m_;  // first moment
+  MlpGradients v_;  // second moment
+  std::size_t t_ = 0;
+};
+
+}  // namespace figret::nn

@@ -1,0 +1,137 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace figret::nn {
+
+double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+void MlpGradients::zero() {
+  for (auto& w : weight) std::fill(w.flat().begin(), w.flat().end(), 0.0);
+  for (auto& b : bias) std::fill(b.begin(), b.end(), 0.0);
+}
+
+Mlp::Mlp(const MlpConfig& config) : cfg_(config) {
+  if (cfg_.layer_sizes.size() < 2)
+    throw std::invalid_argument("Mlp: need at least input and output layers");
+  util::Rng rng(cfg_.seed);
+  for (std::size_t l = 0; l + 1 < cfg_.layer_sizes.size(); ++l) {
+    const std::size_t in = cfg_.layer_sizes[l];
+    const std::size_t out = cfg_.layer_sizes[l + 1];
+    if (in == 0 || out == 0)
+      throw std::invalid_argument("Mlp: zero-width layer");
+    linalg::Matrix w(out, in);
+    // Xavier/Glorot uniform initialization.
+    const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (double& v : w.flat()) v = rng.uniform(-bound, bound);
+    weight_.push_back(std::move(w));
+    bias_.emplace_back(out, 0.0);
+  }
+}
+
+std::size_t Mlp::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < weight_.size(); ++l)
+    n += weight_[l].size() + bias_[l].size();
+  return n;
+}
+
+std::span<const double> Mlp::forward(std::span<const double> x,
+                                     MlpWorkspace& ws) const {
+  if (x.size() != input_size())
+    throw std::invalid_argument("Mlp::forward: input size mismatch");
+  const std::size_t layers = weight_.size();
+  ws.pre.resize(layers);
+  ws.post.resize(layers);
+
+  std::span<const double> in = x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const linalg::Matrix& w = weight_[l];
+    auto& pre = ws.pre[l];
+    pre.assign(w.rows(), 0.0);
+    for (std::size_t r = 0; r < w.rows(); ++r)
+      pre[r] = linalg::dot(w.row(r), in) + bias_[l][r];
+
+    auto& post = ws.post[l];
+    post.resize(pre.size());
+    const bool last = l + 1 == layers;
+    if (!last) {
+      for (std::size_t i = 0; i < pre.size(); ++i)
+        post[i] = pre[i] > 0.0 ? pre[i] : 0.0;  // ReLU
+    } else if (cfg_.output == OutputActivation::kSigmoid) {
+      for (std::size_t i = 0; i < pre.size(); ++i) post[i] = sigmoid(pre[i]);
+    } else {
+      post = pre;
+    }
+    in = post;
+  }
+  return ws.post.back();
+}
+
+void Mlp::backward(std::span<const double> x, const MlpWorkspace& ws,
+                   std::span<const double> dl_doutput,
+                   MlpGradients& grads) const {
+  const std::size_t layers = weight_.size();
+  if (ws.post.size() != layers)
+    throw std::invalid_argument("Mlp::backward: stale workspace");
+  if (dl_doutput.size() != output_size())
+    throw std::invalid_argument("Mlp::backward: output grad size mismatch");
+
+  // delta = dL/d(pre-activation) of the current layer, starting at the top.
+  std::vector<double> delta(dl_doutput.begin(), dl_doutput.end());
+  if (cfg_.output == OutputActivation::kSigmoid) {
+    const auto& y = ws.post.back();
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      delta[i] *= y[i] * (1.0 - y[i]);
+  }
+
+  for (std::size_t li = layers; li-- > 0;) {
+    const std::span<const double> in = li == 0
+                                           ? x
+                                           : std::span<const double>(
+                                                 ws.post[li - 1]);
+    linalg::Matrix& gw = grads.weight[li];
+    auto& gb = grads.bias[li];
+    for (std::size_t r = 0; r < gw.rows(); ++r) {
+      const double d = delta[r];
+      if (d == 0.0) continue;
+      gb[r] += d;
+      linalg::axpy(d, in, gw.row(r));
+    }
+    if (li == 0) break;
+
+    // Propagate: delta_prev = W^T delta, masked by ReLU'(pre_{l-1}).
+    const linalg::Matrix& w = weight_[li];
+    std::vector<double> prev(w.cols(), 0.0);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      const double d = delta[r];
+      if (d == 0.0) continue;
+      linalg::axpy(d, w.row(r), prev);
+    }
+    const auto& pre = ws.pre[li - 1];
+    for (std::size_t i = 0; i < prev.size(); ++i)
+      if (pre[i] <= 0.0) prev[i] = 0.0;
+    delta = std::move(prev);
+  }
+}
+
+MlpGradients Mlp::make_gradients() const {
+  MlpGradients g;
+  for (std::size_t l = 0; l < weight_.size(); ++l) {
+    g.weight.emplace_back(weight_[l].rows(), weight_[l].cols());
+    g.bias.emplace_back(bias_[l].size(), 0.0);
+  }
+  return g;
+}
+
+}  // namespace figret::nn

@@ -1,0 +1,105 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace figret::nn {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'G', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_doubles(std::ostream& os, std::span<const double> xs) {
+  os.write(reinterpret_cast<const char*>(xs.data()),
+           static_cast<std::streamsize>(xs.size() * sizeof(double)));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("load_mlp: truncated input");
+  return v;
+}
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("load_mlp: truncated input");
+  return v;
+}
+void read_doubles(std::istream& is, std::span<double> xs) {
+  is.read(reinterpret_cast<char*>(xs.data()),
+          static_cast<std::streamsize>(xs.size() * sizeof(double)));
+  if (!is) throw std::runtime_error("load_mlp: truncated parameters");
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& model, std::ostream& os) {
+  os.write(kMagic, sizeof kMagic);
+  write_u32(os, kVersion);
+  const std::size_t layers = model.num_layers();
+  write_u32(os, static_cast<std::uint32_t>(layers + 1));
+  write_u64(os, model.input_size());
+  for (std::size_t l = 0; l < layers; ++l)
+    write_u64(os, model.weights()[l].rows());
+  write_u32(os, static_cast<std::uint32_t>(model.output_activation()));
+  for (std::size_t l = 0; l < layers; ++l) {
+    write_doubles(os, model.weights()[l].flat());
+    write_doubles(os, model.biases()[l]);
+  }
+  if (!os) throw std::runtime_error("save_mlp: write failure");
+}
+
+void save_mlp_file(const Mlp& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_mlp_file: cannot open " + path);
+  save_mlp(model, out);
+}
+
+Mlp load_mlp(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_mlp: bad magic");
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion)
+    throw std::runtime_error("load_mlp: unsupported version");
+
+  const std::uint32_t n_sizes = read_u32(is);
+  if (n_sizes < 2 || n_sizes > 64)
+    throw std::runtime_error("load_mlp: implausible layer count");
+  MlpConfig cfg;
+  for (std::uint32_t i = 0; i < n_sizes; ++i) {
+    const std::uint64_t s = read_u64(is);
+    if (s == 0 || s > (1u << 24))
+      throw std::runtime_error("load_mlp: implausible layer size");
+    cfg.layer_sizes.push_back(static_cast<std::size_t>(s));
+  }
+  const std::uint32_t act = read_u32(is);
+  if (act > 1) throw std::runtime_error("load_mlp: bad activation tag");
+  cfg.output = static_cast<OutputActivation>(act);
+
+  Mlp model(cfg);
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    read_doubles(is, model.weights()[l].flat());
+    read_doubles(is, model.biases()[l]);
+  }
+  return model;
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_mlp_file: cannot open " + path);
+  return load_mlp(in);
+}
+
+}  // namespace figret::nn

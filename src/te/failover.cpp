@@ -1,0 +1,83 @@
+#include "te/failover.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace figret::te {
+
+std::vector<bool> surviving_paths(
+    const PathSet& ps, const std::vector<net::EdgeId>& failed_edges) {
+  std::vector<bool> edge_down(ps.num_edges(), false);
+  for (net::EdgeId e : failed_edges) edge_down.at(e) = true;
+  std::vector<bool> alive(ps.num_paths(), true);
+  for (net::EdgeId e = 0; e < ps.num_edges(); ++e) {
+    if (!edge_down[e]) continue;
+    for (std::uint32_t pid : ps.paths_on_edge(e)) alive[pid] = false;
+  }
+  return alive;
+}
+
+TeConfig reroute(const PathSet& ps, const TeConfig& config,
+                 const std::vector<bool>& alive) {
+  if (config.size() != ps.num_paths() || alive.size() != ps.num_paths())
+    throw std::invalid_argument("reroute: size mismatch");
+  TeConfig out(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    const std::size_t begin = ps.pair_begin(pr);
+    const std::size_t end = ps.pair_end(pr);
+    double alive_weight = 0.0;
+    std::size_t alive_count = 0;
+    for (std::size_t p = begin; p < end; ++p) {
+      if (!alive[p]) continue;
+      alive_weight += config[p];
+      ++alive_count;
+    }
+    if (alive_count == 0) continue;  // pair disconnected; ratios stay 0
+    if (alive_weight > 1e-12) {
+      // Proportional redistribution: (0.5, 0.3, 0.2) with path 0 failed
+      // becomes (0, 0.6, 0.4).
+      for (std::size_t p = begin; p < end; ++p)
+        if (alive[p]) out[p] = config[p] / alive_weight;
+    } else {
+      // Surviving paths carried no weight: split equally, (1,0,0) with path
+      // 0 failed becomes (0, 0.5, 0.5).
+      const double u = 1.0 / static_cast<double>(alive_count);
+      for (std::size_t p = begin; p < end; ++p)
+        if (alive[p]) out[p] = u;
+    }
+  }
+  return out;
+}
+
+std::vector<net::EdgeId> sample_safe_failures(const PathSet& ps,
+                                              std::size_t count,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<net::EdgeId> failed;
+    std::vector<bool> chosen(ps.num_edges(), false);
+    while (failed.size() < count) {
+      const auto e = static_cast<net::EdgeId>(rng.uniform_index(ps.num_edges()));
+      if (chosen[e]) continue;
+      chosen[e] = true;
+      failed.push_back(e);
+    }
+    const auto alive = surviving_paths(ps, failed);
+    bool all_reachable = true;
+    for (std::size_t pr = 0; pr < ps.num_pairs() && all_reachable; ++pr) {
+      bool any = false;
+      for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+        if (alive[p]) {
+          any = true;
+          break;
+        }
+      all_reachable = any;
+    }
+    if (all_reachable) return failed;
+  }
+  throw std::runtime_error(
+      "sample_safe_failures: could not find a non-disconnecting failure set");
+}
+
+}  // namespace figret::te

@@ -1,0 +1,32 @@
+// Failure handling (paper §4.5): when links fail, sources proportionally
+// redistribute the traffic of failed paths among their surviving paths —
+// without recomputing the TE solution and without retraining.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "te/pathset.h"
+
+namespace figret::te {
+
+/// Marks which global path ids survive when `failed_edges` are down.
+std::vector<bool> surviving_paths(const PathSet& ps,
+                                  const std::vector<net::EdgeId>& failed_edges);
+
+/// Reroutes `config` around failed paths per §4.5:
+///  * pairs whose surviving paths carry weight: renormalize proportionally;
+///  * pairs whose surviving paths all have zero weight: split equally;
+///  * pairs with no surviving path: all ratios 0 (traffic is lost).
+/// Failed paths always end with ratio 0.
+TeConfig reroute(const PathSet& ps, const TeConfig& config,
+                 const std::vector<bool>& alive);
+
+/// Picks `count` distinct random edges whose removal keeps every SD pair
+/// reachable through at least one candidate path (so experiments measure
+/// congestion, not disconnection). Throws after too many rejected samples.
+std::vector<net::EdgeId> sample_safe_failures(const PathSet& ps,
+                                              std::size_t count,
+                                              std::uint64_t seed);
+
+}  // namespace figret::te

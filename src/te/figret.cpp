@@ -1,0 +1,212 @@
+#include "te/figret.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "traffic/stats.h"
+#include "util/rng.h"
+
+namespace figret::te {
+
+FigretOptions dote_options(FigretOptions base) {
+  base.robust_weight = 0.0;
+  return base;
+}
+
+FigretScheme::FigretScheme(const PathSet& ps, const FigretOptions& opt,
+                           std::string name)
+    : ps_(&ps), opt_(opt), name_(std::move(name)) {
+  if (opt_.history == 0)
+    throw std::invalid_argument("FigretScheme: history must be >= 1");
+  if (opt_.batch_size == 0)
+    throw std::invalid_argument("FigretScheme: batch_size must be >= 1");
+}
+
+const nn::Mlp& FigretScheme::model() const {
+  if (!model_) throw std::logic_error("FigretScheme: model() before fit()");
+  return *model_;
+}
+
+std::vector<double> FigretScheme::build_input(
+    std::span<const traffic::DemandMatrix> history) const {
+  const std::size_t pairs = ps_->num_pairs();
+  if (history.size() < opt_.history)
+    throw std::invalid_argument("FigretScheme: history shorter than window");
+  std::vector<double> x(opt_.history * pairs, 0.0);
+  // Most recent snapshot last, matching training layout.
+  const std::size_t offset = history.size() - opt_.history;
+  for (std::size_t h = 0; h < opt_.history; ++h) {
+    const auto& dm = history[offset + h];
+    if (dm.size() != pairs)
+      throw std::invalid_argument("FigretScheme: demand size mismatch");
+    for (std::size_t p = 0; p < pairs; ++p)
+      x[h * pairs + p] = dm[p] / input_scale_;
+  }
+  return x;
+}
+
+void FigretScheme::fit(const traffic::TrafficTrace& train) {
+  const std::size_t pairs = ps_->num_pairs();
+  if (train.num_nodes != ps_->num_nodes())
+    throw std::invalid_argument("FigretScheme: trace/topology mismatch");
+  if (train.size() <= opt_.history)
+    throw std::invalid_argument("FigretScheme: training trace too short");
+
+  // Input scale: a single global constant so the DNN sees O(1) inputs.
+  input_scale_ = 1e-12;
+  for (const auto& dm : train.snapshots)
+    for (double v : dm.values()) input_scale_ = std::max(input_scale_, v);
+
+  // Robustness weights: per-pair demand variance over the training period
+  // (Eq. 8's sigma^2_{D_sd,[1-T]}), divided by the squared demand scale so
+  // the L2 term is invariant to traffic units. Raw variances keep the
+  // paper's fine-grained property: on stable traces every weight is tiny and
+  // FIGRET's loss degenerates to DOTE's; on bursty traces only the genuinely
+  // bursty pairs receive a meaningful sensitivity penalty.
+  pair_weights_ = traffic::pair_variances(train);
+  for (double& w : pair_weights_) w /= input_scale_ * input_scale_;
+
+  nn::MlpConfig mcfg;
+  mcfg.layer_sizes.push_back(opt_.history * pairs);
+  for (std::size_t h : opt_.hidden) mcfg.layer_sizes.push_back(h);
+  mcfg.layer_sizes.push_back(ps_->num_paths());
+  mcfg.output = nn::OutputActivation::kSigmoid;
+  mcfg.seed = opt_.seed;
+  model_ = std::make_unique<nn::Mlp>(mcfg);
+
+  nn::AdamConfig acfg;
+  acfg.learning_rate = opt_.learning_rate;
+  acfg.clip_norm = opt_.clip_norm;
+  nn::Adam adam(*model_, acfg);
+  nn::MlpGradients grads = model_->make_gradients();
+
+  const LossConfig lcfg{opt_.robust_weight};
+  util::Rng rng(opt_.seed ^ 0xF16A2Eu);
+
+  // Sample t predicts D_t from {D_{t-H}, ..., D_{t-1}}.
+  std::vector<std::size_t> samples;
+  for (std::size_t t = opt_.history; t < train.size(); ++t)
+    samples.push_back(t);
+
+  std::vector<double> grad_sig;
+  for (std::size_t epoch = 0; epoch < opt_.epochs; ++epoch) {
+    // Shuffle sample order each epoch (stochastic minibatch SGD).
+    const auto perm = rng.permutation(samples.size());
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    grads.zero();
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      const std::size_t t = samples[perm[k]];
+      const auto x = build_input(
+          {train.snapshots.data() + (t - opt_.history), opt_.history});
+      const auto sig = model_->forward(x, ws_);
+      const LossValue lv =
+          figret_loss(*ps_, train[t], sig, pair_weights_, lcfg, &grad_sig);
+      epoch_loss += lv.total;
+      // Average gradients across the minibatch.
+      const double inv = 1.0 / static_cast<double>(opt_.batch_size);
+      for (double& g : grad_sig) g *= inv;
+      model_->backward(x, ws_, grad_sig, grads);
+      if (++in_batch == opt_.batch_size || k + 1 == samples.size()) {
+        adam.step(*model_, grads);
+        grads.zero();
+        in_batch = 0;
+      }
+    }
+    final_epoch_loss_ = epoch_loss / static_cast<double>(samples.size());
+  }
+}
+
+TeConfig FigretScheme::advise(
+    std::span<const traffic::DemandMatrix> history) {
+  if (!model_) throw std::logic_error("FigretScheme: advise() before fit()");
+  const auto x = build_input(history);
+  const auto sig = model_->forward(x, ws_);
+  return ratios_from_sigmoid(*ps_, sig);
+}
+
+namespace {
+
+constexpr char kSchemeMagic[4] = {'F', 'G', 'R', 'S'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("FigretScheme::load: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void FigretScheme::save(std::ostream& os) const {
+  if (!model_) throw std::logic_error("FigretScheme::save: not fitted");
+  os.write(kSchemeMagic, sizeof kSchemeMagic);
+  write_pod<std::uint32_t>(os, 1);  // version
+  write_pod<std::uint64_t>(os, opt_.history);
+  write_pod<double>(os, input_scale_);
+  write_pod<std::uint64_t>(os, pair_weights_.size());
+  os.write(reinterpret_cast<const char*>(pair_weights_.data()),
+           static_cast<std::streamsize>(pair_weights_.size() *
+                                        sizeof(double)));
+  nn::save_mlp(*model_, os);
+  if (!os) throw std::runtime_error("FigretScheme::save: write failure");
+}
+
+void FigretScheme::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("FigretScheme::save_file: cannot open " + path);
+  save(out);
+}
+
+void FigretScheme::load(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::string(magic, 4) != std::string(kSchemeMagic, 4))
+    throw std::runtime_error("FigretScheme::load: bad magic");
+  if (read_pod<std::uint32_t>(is) != 1)
+    throw std::runtime_error("FigretScheme::load: unsupported version");
+  const auto history = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  const double scale = read_pod<double>(is);
+  const auto n_weights = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  if (n_weights != ps_->num_pairs())
+    throw std::runtime_error(
+        "FigretScheme::load: checkpoint pair count does not match topology");
+  std::vector<double> weights(n_weights, 0.0);
+  is.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(n_weights * sizeof(double)));
+  if (!is) throw std::runtime_error("FigretScheme::load: truncated weights");
+
+  nn::Mlp loaded = nn::load_mlp(is);
+  if (loaded.input_size() != history * ps_->num_pairs() ||
+      loaded.output_size() != ps_->num_paths())
+    throw std::runtime_error(
+        "FigretScheme::load: model dimensions do not match topology");
+
+  opt_.history = history;
+  input_scale_ = scale;
+  pair_weights_ = std::move(weights);
+  model_ = std::make_unique<nn::Mlp>(std::move(loaded));
+}
+
+void FigretScheme::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("FigretScheme::load_file: cannot open " + path);
+  load(in);
+}
+
+std::unique_ptr<FigretScheme> make_dote(const PathSet& ps,
+                                        FigretOptions base) {
+  return std::make_unique<FigretScheme>(ps, dote_options(base), "DOTE");
+}
+
+}  // namespace figret::te

@@ -1,0 +1,93 @@
+// FIGRET — the paper's contribution (§4): a deep neural network that maps a
+// window of historical demand matrices {D_{t-H}, ..., D_{t-1}} directly to a
+// TE configuration R_t, trained end-to-end with the burst-aware loss
+//
+//   L = M(R_t, D_t) + robust_weight * sum_sd var_sd * S^max_sd   (Eq. 7 + 8)
+//
+// With robust_weight = 0 the very same pipeline is DOTE [36], the paper's
+// strongest baseline — use dote_options() / make_dote() for that
+// configuration (the relationship the paper itself exploits).
+//
+// Architecture (Appendix D.4): fully connected, five hidden layers of 128
+// ReLU units, sigmoid output head, per-pair normalization to recover valid
+// split ratios, Adam optimizer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/mlp.h"
+#include "te/loss.h"
+#include "te/scheme.h"
+
+namespace figret::te {
+
+struct FigretOptions {
+  /// Temporal window H (paper uses 12 for the Fig 4 analysis).
+  std::size_t history = 12;
+  /// Hidden layer widths (Appendix D.4: five layers of 128).
+  std::vector<std::size_t> hidden = {128, 128, 128, 128, 128};
+  std::size_t epochs = 12;
+  std::size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  /// Weight of the fine-grained robustness loss term; 0 => DOTE.
+  double robust_weight = 1.0;
+  /// Global-norm gradient clip (0 disables).
+  double clip_norm = 5.0;
+  std::uint64_t seed = 42;
+};
+
+/// DOTE is FIGRET without the robustness term (§5.1 baseline 6).
+FigretOptions dote_options(FigretOptions base = {});
+
+class FigretScheme final : public TeScheme {
+ public:
+  FigretScheme(const PathSet& ps, const FigretOptions& opt = {},
+               std::string name = "FIGRET");
+
+  std::string name() const override { return name_; }
+  void fit(const traffic::TrafficTrace& train) override;
+  TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
+  std::size_t history_window() const override { return opt_.history; }
+
+  /// Per-pair robustness weights (training variance / squared demand scale)
+  /// — the quantity Fig 8 plots sensitivities against.
+  const std::vector<double>& pair_weights() const noexcept {
+    return pair_weights_;
+  }
+  /// Mean training loss of the final epoch (monitoring / tests).
+  double final_epoch_loss() const noexcept { return final_epoch_loss_; }
+  const nn::Mlp& model() const;
+
+  /// Persists the full trained state (model, input scale, pair weights) so
+  /// a controller can ship without retraining (§6: retraining is rare).
+  /// save() requires a fitted scheme; load() replaces the current state and
+  /// validates the checkpoint against this scheme's PathSet dimensions.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  void load(std::istream& is);
+  void load_file(const std::string& path);
+
+ private:
+  std::vector<double> build_input(
+      std::span<const traffic::DemandMatrix> history) const;
+
+  const PathSet* ps_;
+  FigretOptions opt_;
+  std::string name_;
+  std::vector<double> pair_weights_;
+  double input_scale_ = 1.0;
+  double final_epoch_loss_ = 0.0;
+  std::unique_ptr<nn::Mlp> model_;
+  mutable nn::MlpWorkspace ws_;
+};
+
+/// Convenience factory for the DOTE baseline.
+std::unique_ptr<FigretScheme> make_dote(const PathSet& ps,
+                                        FigretOptions base = {});
+
+}  // namespace figret::te

@@ -1,0 +1,134 @@
+#include "te/harness.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+
+namespace figret::te {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+Harness::Harness(const PathSet& ps, traffic::TrafficTrace trace)
+    : Harness(ps, std::move(trace), Options{}) {}
+
+Harness::Harness(const PathSet& ps, traffic::TrafficTrace trace,
+                 const Options& opt)
+    : ps_(&ps), trace_(std::move(trace)), opt_(opt) {
+  if (trace_.num_nodes != ps.num_nodes())
+    throw std::invalid_argument("Harness: trace/topology mismatch");
+  split_ = static_cast<std::size_t>(opt_.train_fraction *
+                                    static_cast<double>(trace_.size()));
+  if (split_ < opt_.max_window || split_ >= trace_.size())
+    throw std::invalid_argument(
+        "Harness: trace too short for the requested split/window");
+  const std::size_t stride = std::max<std::size_t>(1, opt_.eval_stride);
+  for (std::size_t t = split_; t < trace_.size(); t += stride)
+    eval_indices_.push_back(t);
+}
+
+traffic::TrafficTrace Harness::train_trace() const {
+  return trace_.slice(0, split_);
+}
+
+std::vector<double> Harness::omniscient_for_alive(
+    const std::vector<bool>* alive) {
+  std::vector<double> out;
+  out.reserve(eval_indices_.size());
+  for (const std::size_t t : eval_indices_) {
+    const MluLpResult res = solve_mlu_lp(*ps_, trace_[t], nullptr, alive);
+    if (!res.optimal)
+      throw std::runtime_error("Harness: omniscient LP failed");
+    out.push_back(res.mlu);
+  }
+  return out;
+}
+
+const std::vector<double>& Harness::omniscient() {
+  if (!omniscient_) omniscient_ = omniscient_for_alive(nullptr);
+  return *omniscient_;
+}
+
+SchemeEval Harness::finish(std::string name, std::vector<double> raw,
+                           const std::vector<double>& reference,
+                           double total_seconds) {
+  SchemeEval ev;
+  ev.name = std::move(name);
+  ev.raw_mlu = std::move(raw);
+  ev.normalized.reserve(ev.raw_mlu.size());
+  for (std::size_t i = 0; i < ev.raw_mlu.size(); ++i) {
+    const double denom = reference[i] > 1e-12 ? reference[i] : 1e-12;
+    const double norm = ev.raw_mlu[i] / denom;
+    ev.normalized.push_back(norm);
+    if (norm > 2.0) ++ev.severe_congestion;
+  }
+  ev.mean_advise_seconds =
+      ev.raw_mlu.empty()
+          ? 0.0
+          : total_seconds / static_cast<double>(ev.raw_mlu.size());
+  return ev;
+}
+
+SchemeEval Harness::evaluate(TeScheme& scheme, bool fit) {
+  if (fit) scheme.fit(train_trace());
+  const std::size_t window = std::max<std::size_t>(1, scheme.history_window());
+  if (window > opt_.max_window)
+    throw std::invalid_argument("Harness: scheme window exceeds max_window");
+
+  std::vector<double> raw;
+  raw.reserve(eval_indices_.size());
+  double advise_seconds = 0.0;
+  for (const std::size_t t : eval_indices_) {
+    const std::span<const traffic::DemandMatrix> history{
+        trace_.snapshots.data() + (t - window), window};
+    const auto start = Clock::now();
+    const TeConfig config = scheme.advise(history);
+    advise_seconds += seconds_since(start);
+    raw.push_back(mlu(*ps_, trace_[t], config));
+  }
+  return finish(scheme.name(), std::move(raw), omniscient(), advise_seconds);
+}
+
+SchemeEval Harness::evaluate_config(const std::string& name,
+                                    const TeConfig& config) {
+  std::vector<double> raw;
+  raw.reserve(eval_indices_.size());
+  for (const std::size_t t : eval_indices_)
+    raw.push_back(mlu(*ps_, trace_[t], config));
+  return finish(name, std::move(raw), omniscient(), 0.0);
+}
+
+SchemeEval Harness::evaluate_under_failures(
+    TeScheme& scheme, const std::vector<net::EdgeId>& failed, bool fit) {
+  if (fit) scheme.fit(train_trace());
+  const std::size_t window = std::max<std::size_t>(1, scheme.history_window());
+  if (window > opt_.max_window)
+    throw std::invalid_argument("Harness: scheme window exceeds max_window");
+
+  const std::vector<bool> alive = surviving_paths(*ps_, failed);
+  const std::vector<double> oracle = omniscient_for_alive(&alive);
+
+  std::vector<double> raw;
+  raw.reserve(eval_indices_.size());
+  double advise_seconds = 0.0;
+  for (const std::size_t t : eval_indices_) {
+    const std::span<const traffic::DemandMatrix> history{
+        trace_.snapshots.data() + (t - window), window};
+    const auto start = Clock::now();
+    TeConfig config = scheme.advise(history);
+    advise_seconds += seconds_since(start);
+    config = reroute(*ps_, config, alive);
+    raw.push_back(mlu(*ps_, trace_[t], config));
+  }
+  return finish(scheme.name(), std::move(raw), oracle, advise_seconds);
+}
+
+}  // namespace figret::te

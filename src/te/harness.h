@@ -1,0 +1,90 @@
+// Experiment harness (§5 methodology): chronological train/test split,
+// omniscient-normalized MLU evaluation, severe-congestion counting, solve
+// timing, and the link-failure protocol of §5.3.
+//
+// All schemes evaluated through one Harness share the same test snapshots
+// and the same (cached) omniscient normalizer, so their normalized-MLU
+// distributions are directly comparable — the construction behind Fig 5.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "te/failover.h"
+#include "te/pathset.h"
+#include "te/scheme.h"
+#include "traffic/demand.h"
+#include "util/stats.h"
+
+namespace figret::te {
+
+struct SchemeEval {
+  std::string name;
+  /// One entry per evaluated test snapshot.
+  std::vector<double> raw_mlu;
+  std::vector<double> normalized;  // raw / omniscient
+  /// Mean wall-clock seconds of one advise() call (the Table 2 metric).
+  double mean_advise_seconds = 0.0;
+  /// Snapshots with normalized MLU > 2 (§5.2 "severe congestion").
+  std::size_t severe_congestion = 0;
+
+  util::BoxStats stats() const { return util::box_stats(normalized); }
+  double average() const { return util::mean(normalized); }
+};
+
+class Harness {
+ public:
+  struct Options {
+    double train_fraction = 0.75;
+    /// Evaluate every k-th test snapshot (> 1 keeps LP baselines tractable;
+    /// identical indices are used for every scheme).
+    std::size_t eval_stride = 1;
+    /// History snapshots available before the first test index must cover
+    /// the largest scheme window.
+    std::size_t max_window = 16;
+  };
+
+  Harness(const PathSet& ps, traffic::TrafficTrace trace);
+  Harness(const PathSet& ps, traffic::TrafficTrace trace, const Options& opt);
+
+  const PathSet& path_set() const noexcept { return *ps_; }
+  const traffic::TrafficTrace& trace() const noexcept { return trace_; }
+  /// Chronological training prefix (what schemes' fit() receives).
+  traffic::TrafficTrace train_trace() const;
+  std::size_t test_begin() const noexcept { return split_; }
+  const std::vector<std::size_t>& eval_indices() const noexcept {
+    return eval_indices_;
+  }
+
+  /// Omniscient MLU per evaluated snapshot (lazy, cached, shared).
+  const std::vector<double>& omniscient();
+
+  /// Fits (unless told not to) and evaluates a scheme over the test range.
+  SchemeEval evaluate(TeScheme& scheme, bool fit = true);
+
+  /// Evaluates a fixed configuration (oblivious / COPE after their fit()).
+  SchemeEval evaluate_config(const std::string& name, const TeConfig& config);
+
+  /// §5.3 protocol: the scheme computes configs unaware of failures, traffic
+  /// is rerouted around dead paths (§4.5), and results are normalized by a
+  /// failure-aware omniscient oracle.
+  SchemeEval evaluate_under_failures(TeScheme& scheme,
+                                     const std::vector<net::EdgeId>& failed,
+                                     bool fit = true);
+
+ private:
+  std::vector<double> omniscient_for_alive(const std::vector<bool>* alive);
+  SchemeEval finish(std::string name, std::vector<double> raw,
+                    const std::vector<double>& reference,
+                    double total_seconds);
+
+  const PathSet* ps_;
+  traffic::TrafficTrace trace_;
+  Options opt_;
+  std::size_t split_ = 0;
+  std::vector<std::size_t> eval_indices_;
+  std::optional<std::vector<double>> omniscient_;
+};
+
+}  // namespace figret::te

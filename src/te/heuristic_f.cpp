@@ -1,0 +1,69 @@
+#include "te/heuristic_f.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "te/lp_schemes.h"
+#include "traffic/stats.h"
+
+namespace figret::te {
+
+HeuristicFTe::HeuristicFTe(const PathSet& ps, const HeuristicFOptions& opt,
+                           std::string name)
+    : ps_(&ps), opt_(opt), name_(std::move(name)) {
+  if (opt_.min_bound > opt_.max_bound)
+    throw std::invalid_argument("HeuristicFTe: min_bound > max_bound");
+}
+
+void HeuristicFTe::fit(const traffic::TrafficTrace& train) {
+  const std::vector<double> var = traffic::pair_variances(train);
+  const std::size_t pairs = ps_->num_pairs();
+  if (var.size() != pairs)
+    throw std::invalid_argument("HeuristicFTe: trace/topology mismatch");
+
+  // Ascending variance order: rank 0 = most stable pair.
+  std::vector<std::size_t> order(pairs);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return var[a] < var[b]; });
+
+  f_.assign(pairs, opt_.max_bound);
+  for (std::size_t rank = 0; rank < pairs; ++rank) {
+    const double frac =
+        pairs > 1 ? static_cast<double>(rank) / static_cast<double>(pairs - 1)
+                  : 0.0;
+    double bound = opt_.max_bound;
+    switch (opt_.shape) {
+      case FShape::kLinear:
+        // Fig 9: bound decreases linearly from Max (stable) to Min (bursty).
+        bound = opt_.max_bound - frac * (opt_.max_bound - opt_.min_bound);
+        break;
+      case FShape::kPiecewise:
+        // Fig 11: lenient below the breakpoint, strict above it.
+        bound = frac < opt_.breakpoint ? opt_.max_bound : opt_.min_bound;
+        break;
+    }
+    f_[order[rank]] = bound;
+  }
+  caps_ = sensitivity_caps(*ps_, f_);
+}
+
+TeConfig HeuristicFTe::advise(
+    std::span<const traffic::DemandMatrix> history) {
+  if (caps_.empty())
+    throw std::logic_error("HeuristicFTe: advise() before fit()");
+  if (history.empty())
+    throw std::invalid_argument("HeuristicFTe: empty history");
+  traffic::DemandMatrix peak(ps_->num_nodes());
+  for (const auto& dm : history)
+    for (std::size_t p = 0; p < peak.size(); ++p)
+      peak[p] = std::max(peak[p], dm[p]);
+
+  const MluLpResult res = solve_mlu_lp(*ps_, peak, &caps_);
+  if (!res.optimal)
+    throw std::runtime_error("HeuristicFTe: LP did not reach optimality");
+  return normalize_config(*ps_, res.config);
+}
+
+}  // namespace figret::te

@@ -1,0 +1,75 @@
+#include "te/latency_loss.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace figret::te {
+
+std::vector<double> expected_path_lengths(const PathSet& ps,
+                                          const TeConfig& config) {
+  if (config.size() != ps.num_paths())
+    throw std::invalid_argument("expected_path_lengths: size mismatch");
+  std::vector<double> out(ps.num_pairs(), 0.0);
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
+    out[ps.pair_of_path(pid)] +=
+        config[pid] * static_cast<double>(ps.path_edges(pid).size());
+  return out;
+}
+
+std::vector<double> stability_from_variances(std::span<const double> var) {
+  double top = 0.0;
+  for (double v : var) top = std::max(top, v);
+  std::vector<double> out(var.size(), 1.0);
+  if (top <= 0.0) return out;
+  for (std::size_t p = 0; p < var.size(); ++p) out[p] = 1.0 - var[p] / top;
+  return out;
+}
+
+LatencyLossValue latency_aware_loss(const PathSet& ps,
+                                    const traffic::DemandMatrix& dm,
+                                    std::span<const double> sig,
+                                    std::span<const double> pair_weight,
+                                    std::span<const double> stability,
+                                    const LatencyLossConfig& cfg,
+                                    std::vector<double>* grad_sig) {
+  if (stability.size() != ps.num_pairs())
+    throw std::invalid_argument("latency_aware_loss: stability size mismatch");
+
+  // Base terms (MLU + robustness) and, if requested, their dL/d(sig).
+  const LossConfig base_cfg{cfg.robust_weight};
+  std::vector<double> base_grad;
+  const LossValue base = figret_loss(ps, dm, sig, pair_weight, base_cfg,
+                                     grad_sig != nullptr ? &base_grad : nullptr);
+
+  const TeConfig r = ratios_from_sigmoid(ps, sig);
+
+  // Latency term: w_l * sum_sd stability_sd * E[hops_sd].
+  double latency = 0.0;
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
+    latency += stability[ps.pair_of_path(pid)] * r[pid] *
+               static_cast<double>(ps.path_edges(pid).size());
+  latency *= cfg.latency_weight;
+
+  LatencyLossValue value;
+  value.mlu = base.mlu;
+  value.robust = base.robust;
+  value.latency = latency;
+  value.total = base.total + latency;
+  if (grad_sig == nullptr) return value;
+
+  // dLatency/dr_p = w_l * stability_sd(p) * hops(p); chain through the
+  // normalization and add to the base gradient.
+  std::vector<double> grad_r(ps.num_paths(), 0.0);
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
+    grad_r[pid] = cfg.latency_weight * stability[ps.pair_of_path(pid)] *
+                  static_cast<double>(ps.path_edges(pid).size());
+  std::vector<double> latency_grad;
+  chain_through_normalization(ps, sig, r, grad_r, latency_grad);
+
+  grad_sig->assign(ps.num_paths(), 0.0);
+  for (std::size_t p = 0; p < ps.num_paths(); ++p)
+    (*grad_sig)[p] = base_grad[p] + latency_grad[p];
+  return value;
+}
+
+}  // namespace figret::te

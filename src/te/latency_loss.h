@@ -1,0 +1,57 @@
+// Latency-aware fine-grained objective (paper §6 "Can the concept of
+// fine-grained robustness be extended to other objectives?").
+//
+// The paper sketches the extension: stable traffic should take its shortest
+// (lowest-latency) path, while potentially bursty traffic should accept
+// multipath spreading to avoid congestion. We realize it by adding a
+// latency term to the FIGRET loss:
+//
+//   L = MLU + w_r * Σ var_sd S^max_sd + w_l * Σ_sd stability_sd * E[hops_sd]
+//
+// where E[hops_sd] = Σ_p r_p · hops(p) is the pair's expected path length
+// and stability_sd = 1 - normalized variance, so the latency pull toward
+// short paths applies strongly to stable pairs and fades for bursty ones —
+// the exact fine-grained trade the paper describes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "te/loss.h"
+#include "te/pathset.h"
+#include "traffic/demand.h"
+
+namespace figret::te {
+
+struct LatencyLossConfig {
+  double robust_weight = 1.0;
+  double latency_weight = 0.1;
+};
+
+struct LatencyLossValue {
+  double total = 0.0;
+  double mlu = 0.0;
+  double robust = 0.0;   // scaled by robust_weight
+  double latency = 0.0;  // scaled by latency_weight
+};
+
+/// Expected hop count per pair under a configuration.
+std::vector<double> expected_path_lengths(const PathSet& ps,
+                                          const TeConfig& config);
+
+/// Evaluates the latency-extended loss at sigmoid outputs `sig`.
+/// `pair_weight` are the robustness weights (variance-based, as in
+/// figret_loss); `stability` in [0,1] per pair (1 = fully stable).
+/// If grad_sig != nullptr it receives dL/d(sig).
+LatencyLossValue latency_aware_loss(const PathSet& ps,
+                                    const traffic::DemandMatrix& dm,
+                                    std::span<const double> sig,
+                                    std::span<const double> pair_weight,
+                                    std::span<const double> stability,
+                                    const LatencyLossConfig& cfg,
+                                    std::vector<double>* grad_sig);
+
+/// Stability vector from normalized variances: 1 - var/max(var).
+std::vector<double> stability_from_variances(std::span<const double> var);
+
+}  // namespace figret::te

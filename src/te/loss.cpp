@@ -1,0 +1,111 @@
+#include "te/loss.h"
+
+#include <stdexcept>
+
+namespace figret::te {
+
+TeConfig ratios_from_sigmoid(const PathSet& ps, std::span<const double> sig) {
+  if (sig.size() != ps.num_paths())
+    throw std::invalid_argument("ratios_from_sigmoid: size mismatch");
+  TeConfig r(sig.begin(), sig.end());
+  return normalize_config(ps, std::move(r));
+}
+
+LossValue figret_loss(const PathSet& ps, const traffic::DemandMatrix& dm,
+                      std::span<const double> sig,
+                      std::span<const double> pair_weight,
+                      const LossConfig& cfg, std::vector<double>* grad_sig) {
+  if (sig.size() != ps.num_paths())
+    throw std::invalid_argument("figret_loss: sig size mismatch");
+  if (pair_weight.size() != ps.num_pairs())
+    throw std::invalid_argument("figret_loss: pair_weight size mismatch");
+
+  // Forward: ratios via per-pair normalization of the sigmoid outputs.
+  const TeConfig r = ratios_from_sigmoid(ps, sig);
+
+  // L1: MLU and its bottleneck edge.
+  std::vector<double> load(ps.num_edges(), 0.0);
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid) {
+    const double flow = dm[ps.pair_of_path(pid)] * r[pid];
+    if (flow == 0.0) continue;
+    for (net::EdgeId e : ps.path_edges(pid)) load[e] += flow;
+  }
+  double mlu = 0.0;
+  net::EdgeId argmax_edge = 0;
+  for (net::EdgeId e = 0; e < ps.num_edges(); ++e) {
+    const double u = load[e] / ps.edge_capacity(e);
+    if (u > mlu) {
+      mlu = u;
+      argmax_edge = e;
+    }
+  }
+
+  // L2: per-pair max sensitivity, weighted by the pair's traffic variance.
+  double robust = 0.0;
+  std::vector<std::size_t> argmax_path(ps.num_pairs(), 0);
+  if (cfg.robust_weight > 0.0) {
+    for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+      double best = -1.0;
+      std::size_t best_p = ps.pair_begin(pr);
+      for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p) {
+        const double s = r[p] / ps.path_capacity(p);
+        if (s > best) {
+          best = s;
+          best_p = p;
+        }
+      }
+      argmax_path[pr] = best_p;
+      robust += pair_weight[pr] * best;
+    }
+    robust *= cfg.robust_weight;
+  }
+
+  LossValue value;
+  value.mlu = mlu;
+  value.robust = robust;
+  value.total = mlu + robust;
+  if (grad_sig == nullptr) return value;
+
+  // Backward. First dL/dr (sub-gradient through both argmaxes).
+  std::vector<double> grad_r(ps.num_paths(), 0.0);
+  if (mlu > 0.0) {
+    const double inv_cap = 1.0 / ps.edge_capacity(argmax_edge);
+    for (std::uint32_t pid : ps.paths_on_edge(argmax_edge))
+      grad_r[pid] += dm[ps.pair_of_path(pid)] * inv_cap;
+  }
+  if (cfg.robust_weight > 0.0) {
+    for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+      const std::size_t p = argmax_path[pr];
+      grad_r[p] +=
+          cfg.robust_weight * pair_weight[pr] / ps.path_capacity(p);
+    }
+  }
+
+  chain_through_normalization(ps, sig, r, grad_r, *grad_sig);
+  return value;
+}
+
+void chain_through_normalization(const PathSet& ps,
+                                 std::span<const double> sig,
+                                 const TeConfig& ratios,
+                                 std::span<const double> grad_r,
+                                 std::vector<double>& grad_sig) {
+  // Per-pair normalization r_p = s_p / S gives
+  //   dL/ds_q = (dL/dr_q - sum_p dL/dr_p * r_p) / S.
+  grad_sig.assign(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    const std::size_t begin = ps.pair_begin(pr);
+    const std::size_t end = ps.pair_end(pr);
+    double sum_sig = 0.0;
+    double weighted = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      sum_sig += sig[p];
+      weighted += grad_r[p] * ratios[p];
+    }
+    if (sum_sig <= 1e-12) continue;  // uniform fallback region: zero gradient
+    for (std::size_t p = begin; p < end; ++p)
+      grad_sig[p] = (grad_r[p] - weighted) / sum_sig;
+  }
+}
+
+}  // namespace figret::te

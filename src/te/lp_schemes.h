@@ -1,0 +1,98 @@
+// Linear-programming TE: the optimization core (paper Appendix B) and the
+// LP-based baselines of §5.1 —
+//   * Omniscient TE         (LP on the true upcoming demand; the normalizer)
+//   * Demand-prediction TE  (LP on the previous snapshot)
+//   * Desensitization TE    (Google Jupiter's "Hedging": LP on the
+//     peak-of-window anticipated matrix with uniform sensitivity caps)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "te/scheme.h"
+
+namespace figret::te {
+
+struct MluLpResult {
+  TeConfig config;
+  double mlu = 0.0;
+  bool optimal = false;
+};
+
+/// Solves  min_R MLU(R, demand)  over the candidate paths (Appendix B).
+///
+/// `ratio_cap`  — optional per-path upper bound on split ratios (the
+///                sensitivity constraint r_p <= F(s,d) * C_p of Eq. 4);
+///                entries >= 1 are vacuous and dropped.
+/// `alive`      — optional path mask for fault-aware variants; dead paths
+///                are excluded entirely (pairs with no live path are skipped).
+MluLpResult solve_mlu_lp(const PathSet& ps,
+                         const traffic::DemandMatrix& demand,
+                         const std::vector<double>* ratio_cap = nullptr,
+                         const std::vector<bool>* alive = nullptr);
+
+/// Per-path ratio caps realizing a sensitivity bound: cap_p = F_sd * C_p.
+/// Guarantees per-pair feasibility (sum of caps >= 1) by proportionally
+/// relaxing any pair whose caps are collectively too tight — the paper's
+/// Appendix C feasibility caveat ("Min should not be less than 1/n").
+std::vector<double> sensitivity_caps(const PathSet& ps,
+                                     const std::vector<double>& f_per_pair);
+
+/// Demand-prediction-based TE [2,23,24]: LP on the previous snapshot.
+class PredictionTe final : public TeScheme {
+ public:
+  explicit PredictionTe(const PathSet& ps) : ps_(&ps) {}
+  std::string name() const override { return "PredTE"; }
+  void fit(const traffic::TrafficTrace&) override {}
+  TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
+
+ private:
+  const PathSet* ps_;
+};
+
+/// Desensitization-based TE (Google Jupiter [37], COUDER [44]): anticipated
+/// matrix = per-pair peak over a window, uniform sensitivity cap F.
+class DesensitizationTe final : public TeScheme {
+ public:
+  struct Options {
+    /// Uniform path-sensitivity bound (Appendix C "Original" uses 2/3 with
+    /// capacities normalized to min 1).
+    double sensitivity_bound = 2.0 / 3.0;
+    /// Peak window length for the anticipated matrix.
+    std::size_t peak_window = 12;
+  };
+
+  explicit DesensitizationTe(const PathSet& ps);
+  DesensitizationTe(const PathSet& ps, const Options& opt);
+  std::string name() const override { return "DesTE"; }
+  void fit(const traffic::TrafficTrace&) override {}
+  TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
+  std::size_t history_window() const override { return opt_.peak_window; }
+
+ private:
+  const PathSet* ps_;
+  Options opt_;
+  std::vector<double> caps_;
+};
+
+/// Fault-aware Desensitization TE (§5.3 "FA Des TE"): identical to
+/// DesensitizationTe but told *in advance* which paths will survive, so it
+/// optimizes only over live paths instead of rerouting after the fact.
+class FaultAwareDesTe final : public TeScheme {
+ public:
+  FaultAwareDesTe(const PathSet& ps, std::vector<bool> alive);
+  FaultAwareDesTe(const PathSet& ps, std::vector<bool> alive,
+                  const DesensitizationTe::Options& opt);
+  std::string name() const override { return "FA-DesTE"; }
+  void fit(const traffic::TrafficTrace&) override {}
+  TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
+  std::size_t history_window() const override { return opt_.peak_window; }
+
+ private:
+  const PathSet* ps_;
+  DesensitizationTe::Options opt_;
+  std::vector<bool> alive_;
+  std::vector<double> caps_;
+};
+
+}  // namespace figret::te

@@ -1,0 +1,65 @@
+#include "te/mlu.h"
+
+#include <stdexcept>
+
+namespace figret::te {
+
+std::vector<double> edge_loads(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config) {
+  if (config.size() != ps.num_paths())
+    throw std::invalid_argument("edge_loads: config size mismatch");
+  if (demand.size() != ps.num_pairs())
+    throw std::invalid_argument("edge_loads: demand size mismatch");
+  std::vector<double> load(ps.num_edges(), 0.0);
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid) {
+    const double flow = demand[ps.pair_of_path(pid)] * config[pid];
+    if (flow == 0.0) continue;
+    for (net::EdgeId e : ps.path_edges(pid)) load[e] += flow;
+  }
+  return load;
+}
+
+MluResult max_link_utilization(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config) {
+  const auto load = edge_loads(ps, demand, config);
+  MluResult result;
+  for (net::EdgeId e = 0; e < load.size(); ++e) {
+    const double u = load[e] / ps.edge_capacity(e);
+    if (u > result.mlu) {
+      result.mlu = u;
+      result.argmax_edge = e;
+    }
+  }
+  return result;
+}
+
+double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
+           const TeConfig& config) {
+  return max_link_utilization(ps, demand, config).mlu;
+}
+
+std::vector<double> path_sensitivities(const PathSet& ps,
+                                       const TeConfig& config) {
+  std::vector<double> s(ps.num_paths(), 0.0);
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
+    s[pid] = config[pid] / ps.path_capacity(pid);
+  return s;
+}
+
+std::vector<double> max_pair_sensitivities(const PathSet& ps,
+                                           const TeConfig& config) {
+  std::vector<double> smax(ps.num_pairs(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    double best = 0.0;
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p) {
+      const double s = config[p] / ps.path_capacity(p);
+      if (s > best) best = s;
+    }
+    smax[pr] = best;
+  }
+  return smax;
+}
+
+}  // namespace figret::te

@@ -1,0 +1,41 @@
+// Link-load / MLU evaluation and path-sensitivity metrics (paper §3, §4.1):
+//   f_e  = sum over paths p through e of D_{sd(p)} * r_p
+//   MLU  = max_e f_e / c_e                       (the TE objective M(R, D))
+//   S_p  = r_p / C_p                             (path sensitivity)
+#pragma once
+
+#include <vector>
+
+#include "te/pathset.h"
+#include "traffic/demand.h"
+
+namespace figret::te {
+
+/// Per-edge traffic volumes induced by (demand, config).
+std::vector<double> edge_loads(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config);
+
+struct MluResult {
+  double mlu = 0.0;
+  net::EdgeId argmax_edge = 0;
+};
+
+/// Max link utilization and the bottleneck edge.
+MluResult max_link_utilization(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config);
+
+/// Convenience: just the MLU value.
+double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
+           const TeConfig& config);
+
+/// Path sensitivities S_p = r_p / C_p for every global path id.
+std::vector<double> path_sensitivities(const PathSet& ps,
+                                       const TeConfig& config);
+
+/// S^max_sd: the largest sensitivity among each pair's paths (§4.3.2).
+std::vector<double> max_pair_sensitivities(const PathSet& ps,
+                                           const TeConfig& config);
+
+}  // namespace figret::te

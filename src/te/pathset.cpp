@@ -1,0 +1,98 @@
+#include "te/pathset.h"
+
+#include <stdexcept>
+
+namespace figret::te {
+
+PathSet PathSet::build(const net::Graph& graph,
+                       const std::vector<std::vector<net::Path>>& per_pair) {
+  const std::size_t n = graph.num_nodes();
+  if (per_pair.size() != n * n)
+    throw std::invalid_argument("PathSet::build: per_pair must be n*n");
+
+  PathSet ps;
+  ps.num_nodes_ = n;
+  ps.capacity_.resize(graph.num_edges());
+  for (net::EdgeId e = 0; e < graph.num_edges(); ++e)
+    ps.capacity_[e] = graph.edge(e).capacity;
+
+  const std::size_t pairs = traffic::num_pairs(n);
+  ps.pair_offset_.assign(pairs + 1, 0);
+  ps.edge_offset_.push_back(0);
+
+  for (std::size_t pr = 0; pr < pairs; ++pr) {
+    const auto [s, d] = traffic::pair_nodes(n, pr);
+    const auto& candidates = per_pair[s * n + d];
+    if (candidates.empty())
+      throw std::invalid_argument(
+          "PathSet::build: a connected pair has no candidate path");
+    for (const net::Path& p : candidates) {
+      if (!net::valid_path(graph, p, static_cast<net::NodeId>(s),
+                           static_cast<net::NodeId>(d)))
+        throw std::invalid_argument("PathSet::build: invalid path supplied");
+      ps.paths_.push_back(p);
+      ps.path_pair_.push_back(static_cast<std::uint32_t>(pr));
+      ps.path_capacity_.push_back(net::path_capacity(graph, p));
+      for (net::EdgeId e : p.edges) ps.edge_list_.push_back(e);
+      ps.edge_offset_.push_back(ps.edge_list_.size());
+    }
+    ps.pair_offset_[pr + 1] = ps.paths_.size();
+  }
+
+  // Reverse incidence (edge -> paths) for fast per-edge load queries.
+  std::vector<std::size_t> counts(graph.num_edges(), 0);
+  for (net::EdgeId e : ps.edge_list_) ++counts[e];
+  ps.rev_offset_.assign(graph.num_edges() + 1, 0);
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    ps.rev_offset_[e + 1] = ps.rev_offset_[e] + counts[e];
+  ps.rev_list_.resize(ps.edge_list_.size());
+  std::vector<std::size_t> cursor(ps.rev_offset_.begin(),
+                                  ps.rev_offset_.end() - 1);
+  for (std::size_t pid = 0; pid < ps.paths_.size(); ++pid)
+    for (net::EdgeId e : ps.path_edges(pid))
+      ps.rev_list_[cursor[e]++] = static_cast<std::uint32_t>(pid);
+
+  return ps;
+}
+
+bool valid_config(const PathSet& ps, const TeConfig& config) {
+  if (config.size() != ps.num_paths()) return false;
+  constexpr double kTol = 1e-6;
+  for (double r : config)
+    if (r < -kTol || !(r == r)) return false;
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    double sum = 0.0;
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      sum += config[p];
+    if (sum < 1.0 - kTol || sum > 1.0 + kTol) return false;
+  }
+  return true;
+}
+
+TeConfig normalize_config(const PathSet& ps, TeConfig raw) {
+  if (raw.size() != ps.num_paths())
+    throw std::invalid_argument("normalize_config: size mismatch");
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    const std::size_t begin = ps.pair_begin(pr);
+    const std::size_t end = ps.pair_end(pr);
+    double sum = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      raw[p] = raw[p] > 0.0 ? raw[p] : 0.0;
+      sum += raw[p];
+    }
+    if (sum > 1e-12) {
+      for (std::size_t p = begin; p < end; ++p) raw[p] /= sum;
+    } else {
+      const double u = 1.0 / static_cast<double>(end - begin);
+      for (std::size_t p = begin; p < end; ++p) raw[p] = u;
+    }
+  }
+  return raw;
+}
+
+TeConfig uniform_config(const PathSet& ps) {
+  TeConfig cfg(ps.num_paths(), 0.0);
+  return normalize_config(ps, std::move(cfg));
+}
+
+}  // namespace figret::te

@@ -1,0 +1,91 @@
+// Candidate-path incidence structures (Function 1 in the paper's Appendix
+// D.1): the SD-pair -> path grouping and path -> edge incidence that map a
+// TE configuration to link loads with plain array arithmetic. Built once per
+// (topology, path-selection) and shared by every TE scheme.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/graph.h"
+#include "traffic/demand.h"
+
+namespace figret::te {
+
+/// All candidate paths of a topology, flattened pair-major. Pair p's paths
+/// occupy [pair_offset[p], pair_offset[p+1]) in `paths`.
+class PathSet {
+ public:
+  /// `per_pair[s*n+d]` lists candidate paths of ordered pair (s,d) (as
+  /// produced by net::all_pairs_k_shortest or net::racke_style_paths).
+  /// Every off-diagonal pair must have at least one path.
+  static PathSet build(const net::Graph& graph,
+                       const std::vector<std::vector<net::Path>>& per_pair);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return capacity_.size(); }
+  std::size_t num_pairs() const noexcept { return pair_offset_.size() - 1; }
+  std::size_t num_paths() const noexcept { return path_capacity_.size(); }
+
+  /// Global path-id range of a pair.
+  std::size_t pair_begin(std::size_t pair) const { return pair_offset_[pair]; }
+  std::size_t pair_end(std::size_t pair) const {
+    return pair_offset_[pair + 1];
+  }
+  std::size_t pair_size(std::size_t pair) const {
+    return pair_end(pair) - pair_begin(pair);
+  }
+  /// Pair that owns a global path id.
+  std::size_t pair_of_path(std::size_t path) const {
+    return path_pair_[path];
+  }
+
+  /// Edges of a global path id.
+  std::span<const net::EdgeId> path_edges(std::size_t path) const {
+    return {edge_list_.data() + edge_offset_[path],
+            edge_offset_[path + 1] - edge_offset_[path]};
+  }
+  /// C_p: bottleneck capacity of the path (paper §3).
+  double path_capacity(std::size_t path) const {
+    return path_capacity_[path];
+  }
+  double edge_capacity(net::EdgeId e) const { return capacity_[e]; }
+
+  /// Node sequence of a global path id (for reporting / failure tests).
+  const net::Path& path(std::size_t path_id) const { return paths_[path_id]; }
+
+  /// Global path ids whose path traverses edge e (reverse incidence).
+  std::span<const std::uint32_t> paths_on_edge(net::EdgeId e) const {
+    return {rev_list_.data() + rev_offset_[e],
+            rev_offset_[e + 1] - rev_offset_[e]};
+  }
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<net::Path> paths_;
+  std::vector<std::size_t> pair_offset_;
+  std::vector<std::uint32_t> path_pair_;
+  std::vector<std::size_t> edge_offset_;
+  std::vector<net::EdgeId> edge_list_;
+  std::vector<double> path_capacity_;
+  std::vector<double> capacity_;
+  std::vector<std::size_t> rev_offset_;
+  std::vector<std::uint32_t> rev_list_;
+};
+
+/// A TE configuration R: one split ratio per global path id of a PathSet.
+/// Valid iff every ratio is >= 0 and each pair's ratios sum to 1.
+using TeConfig = std::vector<double>;
+
+/// True when `config` is a valid configuration for `ps` (tolerance 1e-6).
+bool valid_config(const PathSet& ps, const TeConfig& config);
+
+/// Projects raw non-negative scores to a valid configuration by per-pair
+/// normalization; pairs whose scores sum to ~0 fall back to a uniform split.
+TeConfig normalize_config(const PathSet& ps, TeConfig raw);
+
+/// The uniform (equal-split) configuration.
+TeConfig uniform_config(const PathSet& ps);
+
+}  // namespace figret::te

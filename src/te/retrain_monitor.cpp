@@ -1,0 +1,69 @@
+#include "te/retrain_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace figret::te {
+
+RetrainMonitor::RetrainMonitor(const RetrainPolicy& policy)
+    : policy_(policy) {
+  if (policy_.window == 0 || policy_.trigger_count == 0 ||
+      policy_.trigger_count > policy_.window)
+    throw std::invalid_argument("RetrainMonitor: bad window/trigger config");
+}
+
+void RetrainMonitor::set_reference(const traffic::TrafficTrace& train) {
+  reference_.clear();
+  const std::size_t take = std::min(policy_.reference_size, train.size());
+  for (std::size_t t = train.size() - take; t < train.size(); ++t)
+    reference_.push_back(train[t]);
+  reset_window();
+}
+
+void RetrainMonitor::observe(const traffic::DemandMatrix& demand,
+                             double normalized_mlu) {
+  ++total_;
+
+  // Drift: best cosine similarity against the training reference.
+  bool drifted = false;
+  if (!reference_.empty()) {
+    double best = 0.0;
+    for (const auto& ref : reference_)
+      best = std::max(best,
+                      util::cosine_similarity(demand.values(), ref.values()));
+    drifted = best < policy_.similarity_threshold;
+  }
+  drift_window_.push_back(drifted);
+  drift_hits_ += drifted ? 1 : 0;
+  if (drift_window_.size() > policy_.window) {
+    drift_hits_ -= drift_window_.front() ? 1 : 0;
+    drift_window_.pop_front();
+  }
+
+  // Degradation: normalized MLU persistently above threshold.
+  const bool degraded = std::isfinite(normalized_mlu) &&
+                        normalized_mlu > policy_.degradation_threshold;
+  degrade_window_.push_back(degraded);
+  degrade_hits_ += degraded ? 1 : 0;
+  if (degrade_window_.size() > policy_.window) {
+    degrade_hits_ -= degrade_window_.front() ? 1 : 0;
+    degrade_window_.pop_front();
+  }
+}
+
+bool RetrainMonitor::should_retrain() const noexcept {
+  return drift_hits_ >= policy_.trigger_count ||
+         degrade_hits_ >= policy_.trigger_count;
+}
+
+void RetrainMonitor::reset_window() {
+  drift_window_.clear();
+  degrade_window_.clear();
+  drift_hits_ = 0;
+  degrade_hits_ = 0;
+}
+
+}  // namespace figret::te

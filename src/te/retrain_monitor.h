@@ -1,0 +1,72 @@
+// Retraining trigger (paper §6 "When should FIGRET be retrained?").
+//
+// The paper ships periodic retraining and leaves smarter policies as future
+// work: "retraining after detecting significant changes in network traffic
+// patterns or a certain degree of performance degradation". This module
+// implements exactly those two detectors:
+//
+//  * distribution drift — the windowed max-cosine-similarity of incoming
+//    demands against the *training-time* reference set falls below a
+//    threshold persistently (traffic no longer looks like what the model
+//    saw);
+//  * performance degradation — the observed normalized MLU exceeds a
+//    threshold persistently.
+//
+// "Persistently" = in at least `trigger_count` of the last `window`
+// observations, so isolated bursts (which FIGRET is *designed* to absorb)
+// do not cause retraining churn.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "traffic/demand.h"
+
+namespace figret::te {
+
+struct RetrainPolicy {
+  /// Cosine similarity below this counts as a drifted snapshot.
+  double similarity_threshold = 0.8;
+  /// Normalized MLU above this counts as a degraded snapshot.
+  double degradation_threshold = 1.5;
+  /// Sliding window length and how many flagged snapshots trigger.
+  std::size_t window = 32;
+  std::size_t trigger_count = 16;
+  /// How many training-time snapshots to keep as the drift reference.
+  std::size_t reference_size = 64;
+};
+
+class RetrainMonitor {
+ public:
+  explicit RetrainMonitor(const RetrainPolicy& policy = {});
+
+  /// Resets the drift reference from (the tail of) a training trace.
+  /// Call after every (re)training.
+  void set_reference(const traffic::TrafficTrace& train);
+
+  /// Feeds one post-training observation. `normalized_mlu` may be NaN if the
+  /// oracle is unavailable (then only drift is tracked).
+  void observe(const traffic::DemandMatrix& demand, double normalized_mlu);
+
+  /// True when either detector's trigger condition currently holds.
+  bool should_retrain() const noexcept;
+
+  /// Individual detector states (diagnostics / tests).
+  std::size_t drifted_in_window() const noexcept { return drift_hits_; }
+  std::size_t degraded_in_window() const noexcept { return degrade_hits_; }
+  std::size_t observations() const noexcept { return total_; }
+
+  /// Clears the sliding windows (call after retraining).
+  void reset_window();
+
+ private:
+  RetrainPolicy policy_;
+  std::vector<traffic::DemandMatrix> reference_;
+  std::deque<bool> drift_window_;
+  std::deque<bool> degrade_window_;
+  std::size_t drift_hits_ = 0;
+  std::size_t degrade_hits_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace figret::te

@@ -1,0 +1,34 @@
+// Common interface of the TE schemes compared in §5: a scheme is fitted once
+// on the training prefix of a trace, then asked at every test epoch t for a
+// configuration R_t given only the demand history {D_{t-H}, ..., D_{t-1}}
+// (the paper's Eq. 1 information model — never the upcoming demand itself).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "te/pathset.h"
+#include "traffic/demand.h"
+
+namespace figret::te {
+
+class TeScheme {
+ public:
+  virtual ~TeScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One-time precomputation / training on the chronological training split.
+  virtual void fit(const traffic::TrafficTrace& train) = 0;
+
+  /// TE configuration for the next epoch, given the most recent demands
+  /// (oldest first, most recent last). `history` always contains at least
+  /// history_window() snapshots.
+  virtual TeConfig advise(
+      std::span<const traffic::DemandMatrix> history) = 0;
+
+  /// How many historical snapshots advise() wants to see.
+  virtual std::size_t history_window() const { return 1; }
+};
+
+}  // namespace figret::te

@@ -1,0 +1,84 @@
+#include "te/teal_like.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "te/loss.h"
+#include "util/rng.h"
+
+namespace figret::te {
+
+TealLikeTe::TealLikeTe(const PathSet& ps, const TealOptions& opt)
+    : ps_(&ps), opt_(opt) {
+  if (opt_.batch_size == 0)
+    throw std::invalid_argument("TealLikeTe: batch_size must be >= 1");
+}
+
+void TealLikeTe::fit(const traffic::TrafficTrace& train) {
+  const std::size_t pairs = ps_->num_pairs();
+  if (train.num_nodes != ps_->num_nodes())
+    throw std::invalid_argument("TealLikeTe: trace/topology mismatch");
+  if (train.size() == 0)
+    throw std::invalid_argument("TealLikeTe: empty training trace");
+
+  input_scale_ = 1e-12;
+  for (const auto& dm : train.snapshots)
+    for (double v : dm.values()) input_scale_ = std::max(input_scale_, v);
+
+  nn::MlpConfig mcfg;
+  mcfg.layer_sizes.push_back(pairs);
+  for (std::size_t h : opt_.hidden) mcfg.layer_sizes.push_back(h);
+  mcfg.layer_sizes.push_back(ps_->num_paths());
+  mcfg.output = nn::OutputActivation::kSigmoid;
+  mcfg.seed = opt_.seed;
+  model_ = std::make_unique<nn::Mlp>(mcfg);
+
+  nn::AdamConfig acfg;
+  acfg.learning_rate = opt_.learning_rate;
+  acfg.clip_norm = opt_.clip_norm;
+  nn::Adam adam(*model_, acfg);
+  nn::MlpGradients grads = model_->make_gradients();
+
+  // Pure-MLU loss (TEAL has no burst-robustness term).
+  const LossConfig lcfg{0.0};
+  const std::vector<double> no_weights(pairs, 0.0);
+  util::Rng rng(opt_.seed ^ 0x7EA1u);
+
+  std::vector<double> x(pairs, 0.0), grad_sig;
+  for (std::size_t epoch = 0; epoch < opt_.epochs; ++epoch) {
+    const auto perm = rng.permutation(train.size());
+    std::size_t in_batch = 0;
+    grads.zero();
+    for (std::size_t k = 0; k < train.size(); ++k) {
+      const auto& dm = train[perm[k]];
+      for (std::size_t p = 0; p < pairs; ++p) x[p] = dm[p] / input_scale_;
+      const auto sig = model_->forward(x, ws_);
+      // Input demand == target demand: the config is tailored to what the
+      // scheme has just seen.
+      figret_loss(*ps_, dm, sig, no_weights, lcfg, &grad_sig);
+      const double inv = 1.0 / static_cast<double>(opt_.batch_size);
+      for (double& g : grad_sig) g *= inv;
+      model_->backward(x, ws_, grad_sig, grads);
+      if (++in_batch == opt_.batch_size || k + 1 == train.size()) {
+        adam.step(*model_, grads);
+        grads.zero();
+        in_batch = 0;
+      }
+    }
+  }
+}
+
+TeConfig TealLikeTe::advise(
+    std::span<const traffic::DemandMatrix> history) {
+  if (!model_) throw std::logic_error("TealLikeTe: advise() before fit()");
+  if (history.empty())
+    throw std::invalid_argument("TealLikeTe: empty history");
+  const std::size_t pairs = ps_->num_pairs();
+  std::vector<double> x(pairs, 0.0);
+  for (std::size_t p = 0; p < pairs; ++p)
+    x[p] = history.back()[p] / input_scale_;
+  const auto sig = model_->forward(x, ws_);
+  return ratios_from_sigmoid(*ps_, sig);
+}
+
+}  // namespace figret::te

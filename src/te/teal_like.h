@@ -1,0 +1,51 @@
+// TEAL-like baseline (§5.1 (7)).
+//
+// TEAL [52] learns a fast mapping from *a given traffic demand* to a network
+// configuration tailored for that demand (GNN + RL in the original). The
+// paper's experiments note that, lacking knowledge of future traffic, "we
+// apply the TE solution computed from the traffic demand of the preceding
+// time snapshot to the next time snapshot" — which is precisely why TEAL
+// degrades under unexpected bursts (Fig 5).
+//
+// Substitution (DESIGN.md §2): we train a fully connected network with the
+// pure-MLU loss where input and target are the *same* snapshot (demand ->
+// configuration for that demand), replacing the GNN+RL machinery with direct
+// gradient descent — the behaviourally relevant property (a configuration
+// tailored to the observed demand, reused on the next snapshot) is identical.
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.h"
+#include "nn/mlp.h"
+#include "te/scheme.h"
+
+namespace figret::te {
+
+struct TealOptions {
+  std::vector<std::size_t> hidden = {128, 128, 128};
+  std::size_t epochs = 12;
+  std::size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double clip_norm = 5.0;
+  std::uint64_t seed = 17;
+};
+
+class TealLikeTe final : public TeScheme {
+ public:
+  TealLikeTe(const PathSet& ps, const TealOptions& opt = {});
+
+  std::string name() const override { return "TEAL"; }
+  void fit(const traffic::TrafficTrace& train) override;
+  /// Configuration tailored to history.back(), applied to the next epoch.
+  TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
+
+ private:
+  const PathSet* ps_;
+  TealOptions opt_;
+  double input_scale_ = 1.0;
+  std::unique_ptr<nn::Mlp> model_;
+  mutable nn::MlpWorkspace ws_;
+};
+
+}  // namespace figret::te

@@ -1,0 +1,64 @@
+#include "te/two_stage.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "te/lp_schemes.h"
+#include "traffic/stats.h"
+
+namespace figret::te {
+
+TwoStageTe::TwoStageTe(const PathSet& ps,
+                       std::unique_ptr<traffic::Predictor> predictor,
+                       const TwoStageOptions& opt)
+    : ps_(&ps), predictor_(std::move(predictor)), opt_(opt) {
+  if (!predictor_)
+    throw std::invalid_argument("TwoStageTe: predictor must not be null");
+  if (opt_.min_bound > opt_.max_bound)
+    throw std::invalid_argument("TwoStageTe: min_bound > max_bound");
+}
+
+TwoStageTe::TwoStageTe(const PathSet& ps,
+                       std::unique_ptr<traffic::Predictor> predictor)
+    : TwoStageTe(ps, std::move(predictor), TwoStageOptions{}) {}
+
+std::string TwoStageTe::name() const {
+  return "TwoStage(" + predictor_->name() + ")";
+}
+
+void TwoStageTe::fit(const traffic::TrafficTrace& train) {
+  const std::vector<double> var = traffic::pair_variances(train);
+  if (var.size() != ps_->num_pairs())
+    throw std::invalid_argument("TwoStageTe: trace/topology mismatch");
+
+  // Linear-in-rank F, exactly as HeuristicFTe (Appendix C).
+  std::vector<std::size_t> order(var.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return var[a] < var[b]; });
+  std::vector<double> f(var.size(), opt_.max_bound);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const double frac =
+        order.size() > 1
+            ? static_cast<double>(rank) / static_cast<double>(order.size() - 1)
+            : 0.0;
+    f[order[rank]] = opt_.max_bound - frac * (opt_.max_bound - opt_.min_bound);
+  }
+  caps_ = sensitivity_caps(*ps_, f);
+}
+
+TeConfig TwoStageTe::advise(std::span<const traffic::DemandMatrix> history) {
+  if (caps_.empty())
+    throw std::logic_error("TwoStageTe: advise() before fit()");
+  if (history.empty())
+    throw std::invalid_argument("TwoStageTe: empty history");
+
+  last_prediction_ = predictor_->predict(history);
+  const MluLpResult res = solve_mlu_lp(*ps_, last_prediction_, &caps_);
+  if (!res.optimal)
+    throw std::runtime_error("TwoStageTe: LP did not reach optimality");
+  return normalize_config(*ps_, res.config);
+}
+
+}  // namespace figret::te

@@ -1,0 +1,80 @@
+#include "te/wcmp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace figret::te {
+
+WcmpWeights quantize_wcmp(const PathSet& ps, const TeConfig& config,
+                          std::uint32_t table_size) {
+  if (config.size() != ps.num_paths())
+    throw std::invalid_argument("quantize_wcmp: config size mismatch");
+  if (table_size == 0)
+    throw std::invalid_argument("quantize_wcmp: table_size must be >= 1");
+
+  WcmpWeights weights(ps.num_paths(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    const std::size_t begin = ps.pair_begin(pr);
+    const std::size_t end = ps.pair_end(pr);
+
+    double sum = 0.0;
+    for (std::size_t p = begin; p < end; ++p)
+      sum += std::max(0.0, config[p]);
+
+    // Largest-remainder (Hamilton) apportionment of `table_size` slots.
+    remainders.clear();
+    std::uint32_t assigned = 0;
+    for (std::size_t p = begin; p < end; ++p) {
+      const double share =
+          sum > 1e-12 ? std::max(0.0, config[p]) / sum
+                      : 1.0 / static_cast<double>(end - begin);
+      const double exact = share * static_cast<double>(table_size);
+      const auto floor_part = static_cast<std::uint32_t>(exact);
+      weights[p] = floor_part;
+      assigned += floor_part;
+      remainders.emplace_back(exact - static_cast<double>(floor_part), p);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // deterministic tie-break
+              });
+    for (std::size_t k = 0; assigned < table_size; ++k) {
+      ++weights[remainders[k % remainders.size()].second];
+      ++assigned;
+    }
+  }
+  return weights;
+}
+
+TeConfig ratios_from_wcmp(const PathSet& ps, const WcmpWeights& weights) {
+  if (weights.size() != ps.num_paths())
+    throw std::invalid_argument("ratios_from_wcmp: size mismatch");
+  TeConfig cfg(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    std::uint64_t sum = 0;
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      sum += weights[p];
+    if (sum == 0)
+      throw std::invalid_argument(
+          "ratios_from_wcmp: pair with all-zero weights");
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      cfg[p] = static_cast<double>(weights[p]) / static_cast<double>(sum);
+  }
+  return cfg;
+}
+
+double quantization_error(const PathSet& ps, const TeConfig& config,
+                          const WcmpWeights& weights) {
+  const TeConfig realized = ratios_from_wcmp(ps, weights);
+  const TeConfig ideal = normalize_config(ps, config);
+  double worst = 0.0;
+  for (std::size_t p = 0; p < ps.num_paths(); ++p)
+    worst = std::max(worst, std::abs(realized[p] - ideal[p]));
+  return worst;
+}
+
+}  // namespace figret::te

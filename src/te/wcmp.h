@@ -1,0 +1,38 @@
+// WCMP quantization — the deployment stage between a TE configuration and
+// switch hardware.
+//
+// The paper positions FIGRET as deployable on commodity switches: it "does
+// not require specialized hardware and only needs switches that support
+// WCMP" (§7). WCMP tables hold small integer weights per next hop, so the
+// real-valued split ratios must be quantized. This module converts a
+// configuration into per-pair integer weights with a bounded weight sum and
+// minimal rounding error, and quantifies the MLU cost of quantization
+// (exercised in tests and the quantization ablation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "te/pathset.h"
+
+namespace figret::te {
+
+/// Integer WCMP weights, one per global path id (pair-aligned like TeConfig).
+using WcmpWeights = std::vector<std::uint32_t>;
+
+/// Quantizes `config` so that each pair's weights are non-negative integers
+/// with sum exactly `table_size` (>= 1). Uses largest-remainder rounding,
+/// which minimizes the per-pair L1 rounding error among all integer
+/// apportionments with that sum. Paths with ratio 0 receive weight 0; every
+/// pair keeps at least one positive weight.
+WcmpWeights quantize_wcmp(const PathSet& ps, const TeConfig& config,
+                          std::uint32_t table_size = 16);
+
+/// Reconstructs the effective split ratios a WCMP switch realizes.
+TeConfig ratios_from_wcmp(const PathSet& ps, const WcmpWeights& weights);
+
+/// Largest per-path absolute ratio error introduced by quantization.
+double quantization_error(const PathSet& ps, const TeConfig& config,
+                          const WcmpWeights& weights);
+
+}  // namespace figret::te

@@ -1,0 +1,37 @@
+#include "traffic/demand.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace figret::traffic {
+
+DemandMatrix::DemandMatrix(std::size_t n, std::vector<double> values)
+    : n_(n), values_(std::move(values)) {
+  if (values_.size() != num_pairs(n))
+    throw std::invalid_argument("DemandMatrix: value count != n*(n-1)");
+}
+
+double DemandMatrix::total() const noexcept {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+std::pair<TrafficTrace, TrafficTrace> TrafficTrace::split(
+    double fraction) const {
+  const auto cut = static_cast<std::size_t>(
+      std::clamp(fraction, 0.0, 1.0) * static_cast<double>(snapshots.size()));
+  return {slice(0, cut), slice(cut, snapshots.size())};
+}
+
+TrafficTrace TrafficTrace::slice(std::size_t begin, std::size_t end) const {
+  TrafficTrace out;
+  out.num_nodes = num_nodes;
+  begin = std::min(begin, snapshots.size());
+  end = std::min(end, snapshots.size());
+  for (std::size_t t = begin; t < end; ++t)
+    out.snapshots.push_back(snapshots[t]);
+  return out;
+}
+
+}  // namespace figret::traffic

@@ -1,0 +1,83 @@
+// Demand matrices and traffic traces (paper §3: "Traffic demands").
+//
+// Demands are stored in *pair space*: the n*(n-1) ordered source-destination
+// pairs, excluding the diagonal. Pair space is the natural indexing for every
+// consumer in this repository — the DNN input/output layout, the per-pair
+// variance statistics of Fig 2, and the per-pair path sets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace figret::traffic {
+
+/// Number of ordered SD pairs for an n-node network.
+constexpr std::size_t num_pairs(std::size_t n) noexcept {
+  return n * (n - 1);
+}
+
+/// Index of ordered pair (s, d), s != d, in [0, n*(n-1)).
+constexpr std::size_t pair_index(std::size_t n, std::size_t s,
+                                 std::size_t d) noexcept {
+  return s * (n - 1) + (d > s ? d - 1 : d);
+}
+
+/// Inverse of pair_index.
+constexpr std::pair<std::size_t, std::size_t> pair_nodes(
+    std::size_t n, std::size_t idx) noexcept {
+  const std::size_t s = idx / (n - 1);
+  const std::size_t r = idx % (n - 1);
+  return {s, r >= s ? r + 1 : r};
+}
+
+/// A single traffic snapshot in pair space.
+class DemandMatrix {
+ public:
+  DemandMatrix() = default;
+  explicit DemandMatrix(std::size_t n, double fill = 0.0)
+      : n_(n), values_(num_pairs(n), fill) {}
+  DemandMatrix(std::size_t n, std::vector<double> values);
+
+  std::size_t num_nodes() const noexcept { return n_; }
+  std::size_t size() const noexcept { return values_.size(); }
+
+  double at(std::size_t s, std::size_t d) const {
+    return values_[pair_index(n_, s, d)];
+  }
+  void set(std::size_t s, std::size_t d, double v) {
+    values_[pair_index(n_, s, d)] = v;
+  }
+
+  double operator[](std::size_t pair) const noexcept { return values_[pair]; }
+  double& operator[](std::size_t pair) noexcept { return values_[pair]; }
+
+  std::span<const double> values() const noexcept { return values_; }
+  std::span<double> values() noexcept { return values_; }
+
+  /// Sum of all demands.
+  double total() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> values_;
+};
+
+/// A time-ordered sequence of demand matrices over a fixed node set.
+struct TrafficTrace {
+  std::size_t num_nodes = 0;
+  std::vector<DemandMatrix> snapshots;
+
+  std::size_t size() const noexcept { return snapshots.size(); }
+  const DemandMatrix& operator[](std::size_t t) const { return snapshots[t]; }
+
+  /// Chronological split at `fraction` (paper: first 75% train, last 25%
+  /// test). Returns [0, cut) and [cut, size).
+  std::pair<TrafficTrace, TrafficTrace> split(double fraction) const;
+
+  /// Sub-range [begin, end) as a trace (used by the drift study, Table 4).
+  TrafficTrace slice(std::size_t begin, std::size_t end) const;
+};
+
+}  // namespace figret::traffic

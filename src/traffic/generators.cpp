@@ -1,0 +1,262 @@
+#include "traffic/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace figret::traffic {
+namespace {
+
+/// Gravity weights g_sd = mass_s * mass_d, normalized to sum 1.
+std::vector<double> gravity_weights(std::size_t n, util::Rng& rng,
+                                    double mass_sigma) {
+  std::vector<double> mass(n, 0.0);
+  for (auto& m : mass) m = rng.lognormal(0.0, mass_sigma);
+  std::vector<double> w(num_pairs(n), 0.0);
+  double total = 0.0;
+  for (std::size_t p = 0; p < w.size(); ++p) {
+    const auto [s, d] = pair_nodes(n, p);
+    w[p] = mass[s] * mass[d];
+    total += w[p];
+  }
+  for (auto& v : w) v /= total;
+  return w;
+}
+
+void scale_to_volume(DemandMatrix& dm, double volume) {
+  const double total = dm.total();
+  if (total <= 0.0) return;
+  const double k = volume / total;
+  for (double& v : dm.values()) v *= k;
+}
+
+}  // namespace
+
+TrafficTrace gravity_trace(std::size_t n, std::size_t length,
+                           std::uint64_t seed, const GravityOptions& opt) {
+  if (n < 2) throw std::invalid_argument("gravity_trace: need >= 2 nodes");
+  util::Rng rng(seed);
+  const auto weights = gravity_weights(n, rng, opt.mass_sigma);
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    DemandMatrix dm(n);
+    for (std::size_t p = 0; p < dm.size(); ++p) {
+      const double jitter = rng.lognormal(0.0, opt.noise_sigma);
+      dm[p] = opt.total_volume * weights[p] * jitter;
+    }
+    trace.snapshots.push_back(std::move(dm));
+  }
+  return trace;
+}
+
+TrafficTrace wan_trace(std::size_t n, std::size_t length, std::uint64_t seed,
+                       const WanOptions& opt) {
+  if (n < 2) throw std::invalid_argument("wan_trace: need >= 2 nodes");
+  util::Rng rng(seed);
+  const auto weights = gravity_weights(n, rng, opt.mass_sigma);
+  const std::size_t pairs = num_pairs(n);
+
+  // A random subset of pairs is allowed to burst (Fig 2: heterogeneity).
+  std::vector<bool> can_burst(pairs, false);
+  for (std::size_t p = 0; p < pairs; ++p)
+    can_burst[p] = rng.bernoulli(opt.bursty_fraction);
+
+  std::vector<double> log_state(pairs, 0.0);
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const double diurnal =
+        1.0 + opt.diurnal_amplitude *
+                  std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                           static_cast<double>(opt.diurnal_period));
+    DemandMatrix dm(n);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      // AR(1) on log-rate keeps the trace predictable from history.
+      log_state[p] = opt.ar_rho * log_state[p] +
+                     std::sqrt(1.0 - opt.ar_rho * opt.ar_rho) *
+                         rng.normal(0.0, opt.ar_sigma);
+      double v = weights[p] * diurnal * std::exp(log_state[p]);
+      if (can_burst[p] && rng.bernoulli(opt.burst_probability)) {
+        // Unexpected burst: an additive heavy-tailed multiple of the base.
+        v += weights[p] * rng.pareto(opt.burst_scale, opt.burst_shape);
+      }
+      dm[p] = v;
+    }
+    scale_to_volume(dm, opt.total_volume * diurnal);
+    trace.snapshots.push_back(std::move(dm));
+  }
+  return trace;
+}
+
+TrafficTrace dc_tor_trace(std::size_t n, std::size_t length,
+                          std::uint64_t seed, const DcOptions& opt) {
+  if (n < 2) throw std::invalid_argument("dc_tor_trace: need >= 2 nodes");
+  util::Rng rng(seed);
+  const auto weights = gravity_weights(n, rng, opt.mass_sigma);
+  const std::size_t pairs = num_pairs(n);
+
+  // Per-pair burstiness level in [0,1]: u^k concentrates mass near 0, so
+  // most pairs are stable and a small minority is highly bursty (Fig 2).
+  std::vector<double> burstiness(pairs, 0.0);
+  for (auto& b : burstiness)
+    b = std::pow(rng.uniform(), opt.burstiness_exponent);
+
+  std::vector<double> log_state(pairs, 0.0);
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    DemandMatrix dm(n);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const double sigma = opt.base_sigma + opt.bursty_sigma * burstiness[p];
+      log_state[p] = opt.ar_rho * log_state[p] +
+                     std::sqrt(1.0 - opt.ar_rho * opt.ar_rho) *
+                         rng.normal(0.0, sigma);
+      double v = weights[p] * std::exp(log_state[p]);
+      if (rng.bernoulli(opt.spike_probability * burstiness[p])) {
+        v += weights[p] * rng.pareto(opt.spike_scale, opt.spike_shape);
+      }
+      dm[p] = v;
+    }
+    scale_to_volume(dm, opt.total_volume);
+    trace.snapshots.push_back(std::move(dm));
+  }
+  return trace;
+}
+
+TrafficTrace dc_pod_trace(std::size_t n_pods, std::size_t tors_per_pod,
+                          std::size_t length, std::uint64_t seed,
+                          const DcOptions& opt) {
+  if (n_pods < 2 || tors_per_pod < 1)
+    throw std::invalid_argument("dc_pod_trace: bad shape");
+  const std::size_t n_tor = n_pods * tors_per_pod;
+  const TrafficTrace tor = dc_tor_trace(n_tor, length, seed, opt);
+
+  TrafficTrace pod;
+  pod.num_nodes = n_pods;
+  pod.snapshots.reserve(length);
+  for (const DemandMatrix& tm : tor.snapshots) {
+    DemandMatrix dm(n_pods);
+    for (std::size_t s = 0; s < n_tor; ++s) {
+      for (std::size_t d = 0; d < n_tor; ++d) {
+        if (s == d) continue;
+        const std::size_t ps = s / tors_per_pod;
+        const std::size_t pd = d / tors_per_pod;
+        if (ps == pd) continue;  // intra-PoD traffic never crosses the fabric
+        dm.set(ps, pd, dm.at(ps, pd) + tm.at(s, d));
+      }
+    }
+    pod.snapshots.push_back(std::move(dm));
+  }
+  return pod;
+}
+
+double web_search_flow_size_kb(util::Rng& rng) {
+  // Piecewise-linear CDF of the "web search" workload of [8] (DCTCP search
+  // trace): sizes in KB at the given cumulative probabilities.
+  static constexpr double kProb[] = {0.0,  0.15, 0.30, 0.45, 0.60,
+                                     0.70, 0.80, 0.90, 0.95, 0.98, 1.0};
+  static constexpr double kSizeKb[] = {1.0,   6.0,   13.0,   19.0,
+                                       33.0,  53.0,  133.0,  667.0,
+                                       1333.0, 6667.0, 20000.0};
+  const double u = rng.uniform();
+  for (std::size_t i = 1; i < std::size(kProb); ++i) {
+    if (u <= kProb[i]) {
+      const double f = (u - kProb[i - 1]) / (kProb[i] - kProb[i - 1]);
+      return kSizeKb[i - 1] + f * (kSizeKb[i] - kSizeKb[i - 1]);
+    }
+  }
+  return kSizeKb[std::size(kSizeKb) - 1];
+}
+
+TrafficTrace pfabric_trace(std::size_t n, std::size_t length,
+                           std::uint64_t seed, const PfabricOptions& opt) {
+  if (n < 2) throw std::invalid_argument("pfabric_trace: need >= 2 nodes");
+  util::Rng rng(seed);
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  const std::size_t pairs = num_pairs(n);
+  for (std::size_t t = 0; t < length; ++t) {
+    DemandMatrix dm(n);
+    // Poisson number of flow arrivals in this interval; each flow picks a
+    // uniformly random ordered SD pair and a web-search-distributed size.
+    std::size_t flows = 0;
+    double budget = rng.exponential(opt.flows_per_interval);
+    while (budget < 1.0) {
+      ++flows;
+      budget += rng.exponential(opt.flows_per_interval);
+    }
+    for (std::size_t f = 0; f < flows; ++f) {
+      const std::size_t p = rng.uniform_index(pairs);
+      dm[p] += web_search_flow_size_kb(rng) / 1000.0;  // MB per interval
+    }
+    trace.snapshots.push_back(std::move(dm));
+  }
+  return trace;
+}
+
+namespace {
+
+std::vector<double> per_pair_sigmas(const TrafficTrace& reference) {
+  const std::size_t pairs = num_pairs(reference.num_nodes);
+  std::vector<double> sigma(pairs, 0.0);
+  std::vector<double> column(reference.size(), 0.0);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    for (std::size_t t = 0; t < reference.size(); ++t)
+      column[t] = reference[t][p];
+    sigma[p] = util::stddev(column);
+  }
+  return sigma;
+}
+
+TrafficTrace perturb_with_sigmas(const TrafficTrace& base,
+                                 const std::vector<double>& sigma,
+                                 double alpha, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TrafficTrace out;
+  out.num_nodes = base.num_nodes;
+  out.snapshots.reserve(base.size());
+  for (const DemandMatrix& dm : base.snapshots) {
+    DemandMatrix noisy = dm;
+    for (std::size_t p = 0; p < noisy.size(); ++p) {
+      noisy[p] = std::max(0.0, noisy[p] + alpha * rng.normal(0.0, sigma[p]));
+    }
+    out.snapshots.push_back(std::move(noisy));
+  }
+  return out;
+}
+
+}  // namespace
+
+TrafficTrace perturb_gaussian(const TrafficTrace& base,
+                              const TrafficTrace& reference, double alpha,
+                              std::uint64_t seed) {
+  return perturb_with_sigmas(base, per_pair_sigmas(reference), alpha, seed);
+}
+
+TrafficTrace perturb_gaussian_rank_reversed(const TrafficTrace& base,
+                                            const TrafficTrace& reference,
+                                            double alpha, std::uint64_t seed) {
+  std::vector<double> sigma = per_pair_sigmas(reference);
+  // Reverse the sigma *ranking*: the historically most stable pair receives
+  // the largest fluctuation (paper §5.4 "worst-case performance").
+  std::vector<std::size_t> order(sigma.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sigma[a] < sigma[b]; });
+  std::vector<double> reversed(sigma.size(), 0.0);
+  for (std::size_t r = 0; r < order.size(); ++r)
+    reversed[order[r]] = sigma[order[order.size() - 1 - r]];
+  return perturb_with_sigmas(base, reversed, alpha, seed);
+}
+
+}  // namespace figret::traffic

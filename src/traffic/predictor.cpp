@@ -1,0 +1,95 @@
+#include "traffic/predictor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace figret::traffic {
+namespace {
+
+void check_history(std::span<const DemandMatrix> history) {
+  if (history.empty())
+    throw std::invalid_argument("Predictor: empty history");
+  for (const auto& dm : history)
+    if (dm.num_nodes() != history.front().num_nodes())
+      throw std::invalid_argument("Predictor: inconsistent history sizes");
+}
+
+}  // namespace
+
+DemandMatrix LastValuePredictor::predict(
+    std::span<const DemandMatrix> history) {
+  check_history(history);
+  return history.back();
+}
+
+DemandMatrix MovingAveragePredictor::predict(
+    std::span<const DemandMatrix> history) {
+  check_history(history);
+  DemandMatrix out(history.front().num_nodes());
+  const double inv = 1.0 / static_cast<double>(history.size());
+  for (const auto& dm : history)
+    for (std::size_t p = 0; p < out.size(); ++p) out[p] += dm[p] * inv;
+  return out;
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("EwmaPredictor: alpha must be in (0, 1]");
+}
+
+DemandMatrix EwmaPredictor::predict(std::span<const DemandMatrix> history) {
+  check_history(history);
+  DemandMatrix state = history.front();
+  for (std::size_t t = 1; t < history.size(); ++t)
+    for (std::size_t p = 0; p < state.size(); ++p)
+      state[p] = alpha_ * history[t][p] + (1.0 - alpha_) * state[p];
+  return state;
+}
+
+DemandMatrix LinearTrendPredictor::predict(
+    std::span<const DemandMatrix> history) {
+  check_history(history);
+  const std::size_t n = history.size();
+  DemandMatrix out(history.front().num_nodes());
+  if (n == 1) return history.back();
+
+  // OLS on t = 0..n-1 per pair; predict at t = n.
+  const double t_mean = static_cast<double>(n - 1) / 2.0;
+  double t_var = 0.0;
+  for (std::size_t t = 0; t < n; ++t)
+    t_var += (static_cast<double>(t) - t_mean) * (static_cast<double>(t) - t_mean);
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    double y_mean = 0.0;
+    for (std::size_t t = 0; t < n; ++t) y_mean += history[t][p];
+    y_mean /= static_cast<double>(n);
+    double cov = 0.0;
+    for (std::size_t t = 0; t < n; ++t)
+      cov += (static_cast<double>(t) - t_mean) * (history[t][p] - y_mean);
+    const double slope = t_var > 0.0 ? cov / t_var : 0.0;
+    const double value = y_mean + slope * (static_cast<double>(n) - t_mean);
+    out[p] = std::max(0.0, value);
+  }
+  return out;
+}
+
+DemandMatrix PeakPredictor::predict(std::span<const DemandMatrix> history) {
+  check_history(history);
+  DemandMatrix out(history.front().num_nodes());
+  for (const auto& dm : history)
+    for (std::size_t p = 0; p < out.size(); ++p)
+      out[p] = std::max(out[p], dm[p]);
+  return out;
+}
+
+double mse(const DemandMatrix& predicted, const DemandMatrix& actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("mse: size mismatch");
+  double acc = 0.0;
+  for (std::size_t p = 0; p < predicted.size(); ++p) {
+    const double d = predicted[p] - actual[p];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+}  // namespace figret::traffic

@@ -1,0 +1,73 @@
+// Explicit traffic-demand predictors — the upstream stage of the "two-stage
+// method" the paper contrasts with FIGRET's end-to-end design (§4.2.1).
+//
+// The paper's argument: predicting D^expect with an MSE-style objective is
+// both hard (bursty pairs) and misaligned with MLU (Appendix G.1). These
+// predictors exist so that the two-stage baseline can be built and the
+// argument reproduced quantitatively (bench_ablation_endtoend).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "traffic/demand.h"
+
+namespace figret::traffic {
+
+/// Predicts the next demand matrix from a history window (oldest first).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual std::string name() const = 0;
+  /// Requires a non-empty history of matrices with equal sizes.
+  virtual DemandMatrix predict(std::span<const DemandMatrix> history) = 0;
+};
+
+/// Last-value ("persistence") prediction: D_t = D_{t-1}.
+class LastValuePredictor final : public Predictor {
+ public:
+  std::string name() const override { return "last-value"; }
+  DemandMatrix predict(std::span<const DemandMatrix> history) override;
+};
+
+/// Arithmetic mean of the window.
+class MovingAveragePredictor final : public Predictor {
+ public:
+  std::string name() const override { return "moving-average"; }
+  DemandMatrix predict(std::span<const DemandMatrix> history) override;
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; alpha = 1 degenerates to last-value.
+class EwmaPredictor final : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3);
+  std::string name() const override { return "ewma"; }
+  DemandMatrix predict(std::span<const DemandMatrix> history) override;
+
+ private:
+  double alpha_;
+};
+
+/// Per-pair ordinary-least-squares linear trend extrapolated one step.
+/// Negative extrapolations are clamped to zero.
+class LinearTrendPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "linear-trend"; }
+  DemandMatrix predict(std::span<const DemandMatrix> history) override;
+};
+
+/// Per-pair peak over the window (the anticipated matrix Desensitization TE
+/// uses; exposed here for reuse and testing).
+class PeakPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "peak"; }
+  DemandMatrix predict(std::span<const DemandMatrix> history) override;
+};
+
+/// Mean squared prediction error over a trace (the upstream metric whose
+/// mismatch with MLU the paper demonstrates).
+double mse(const DemandMatrix& predicted, const DemandMatrix& actual);
+
+}  // namespace figret::traffic

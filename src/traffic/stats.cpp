@@ -1,0 +1,44 @@
+#include "traffic/stats.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace figret::traffic {
+
+std::vector<double> pair_variances(const TrafficTrace& trace) {
+  const std::size_t pairs = num_pairs(trace.num_nodes);
+  std::vector<double> var(pairs, 0.0);
+  std::vector<double> column(trace.size(), 0.0);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    for (std::size_t t = 0; t < trace.size(); ++t) column[t] = trace[t][p];
+    var[p] = util::variance(column);
+  }
+  return var;
+}
+
+std::vector<double> normalized_pair_variances(const TrafficTrace& trace) {
+  std::vector<double> var = pair_variances(trace);
+  const double top = *std::max_element(var.begin(), var.end());
+  if (top > 0.0)
+    for (auto& v : var) v /= top;
+  return var;
+}
+
+std::vector<double> window_max_cosine(const TrafficTrace& trace,
+                                      std::size_t window) {
+  std::vector<double> out;
+  if (trace.size() <= window || window == 0) return out;
+  out.reserve(trace.size() - window);
+  for (std::size_t t = window; t < trace.size(); ++t) {
+    double best = 0.0;
+    for (std::size_t h = t - window; h < t; ++h) {
+      best = std::max(best, util::cosine_similarity(trace[t].values(),
+                                                    trace[h].values()));
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace figret::traffic

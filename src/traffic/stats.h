@@ -1,0 +1,26 @@
+// Trace analytics backing the paper's characterisation figures:
+// per-pair variance (Fig 2), windowed max-cosine-similarity (Fig 4, Fig 18),
+// and burstiness summaries used to order topologies by traffic dynamism.
+#pragma once
+
+#include <vector>
+
+#include "traffic/demand.h"
+
+namespace figret::traffic {
+
+/// Per-pair variance of demand over the trace (sigma^2_{D_sd,[1..T]} in the
+/// paper's notation; the quantity FIGRET's L2 loss weights by).
+std::vector<double> pair_variances(const TrafficTrace& trace);
+
+/// Per-pair variance normalized to max 1 (as plotted in Fig 2).
+std::vector<double> normalized_pair_variances(const TrafficTrace& trace);
+
+/// Fig 4 / Fig 18 statistic: for each snapshot t >= window, the *maximum*
+/// cosine similarity between snapshot t and any of the `window` preceding
+/// snapshots ("find the TMs that most closely resemble this currently-seen
+/// TM"). Values near 1 = predictable; outliers near 0 = unexpected bursts.
+std::vector<double> window_max_cosine(const TrafficTrace& trace,
+                                      std::size_t window);
+
+}  // namespace figret::traffic

@@ -1,0 +1,101 @@
+#include "traffic/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace figret::traffic {
+namespace {
+
+constexpr const char* kHeaderPrefix = "figret-trace,v1,";
+
+}  // namespace
+
+void save_trace(const TrafficTrace& trace, std::ostream& os) {
+  if (trace.num_nodes < 2)
+    throw std::runtime_error("save_trace: trace has no node set");
+  os << kHeaderPrefix << trace.num_nodes << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const DemandMatrix& dm : trace.snapshots) {
+    if (dm.size() != num_pairs(trace.num_nodes))
+      throw std::runtime_error("save_trace: snapshot size mismatch");
+    for (std::size_t p = 0; p < dm.size(); ++p) {
+      if (p) os << ',';
+      os << dm[p];
+    }
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("save_trace: write failure");
+}
+
+void save_trace_file(const TrafficTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_trace(trace, out);
+}
+
+TrafficTrace load_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("load_trace: empty input");
+  if (line.rfind(kHeaderPrefix, 0) != 0)
+    throw std::runtime_error("load_trace: bad header");
+  std::size_t n = 0;
+  {
+    const std::string tail = line.substr(std::string(kHeaderPrefix).size());
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), n);
+    if (ec != std::errc{} || n < 2)
+      throw std::runtime_error("load_trace: bad node count in header");
+    (void)ptr;
+  }
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  const std::size_t pairs = num_pairs(n);
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    DemandMatrix dm(n);
+    std::size_t col = 0;
+    std::size_t begin = 0;
+    while (begin <= line.size()) {
+      std::size_t end = line.find(',', begin);
+      if (end == std::string::npos) end = line.size();
+      if (col >= pairs)
+        throw std::runtime_error("load_trace: too many columns at line " +
+                                 std::to_string(line_no));
+      double v = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(line.data() + begin, line.data() + end, v);
+      if (ec != std::errc{} || ptr != line.data() + end)
+        throw std::runtime_error("load_trace: bad number at line " +
+                                 std::to_string(line_no));
+      if (v < 0.0)
+        throw std::runtime_error("load_trace: negative demand at line " +
+                                 std::to_string(line_no));
+      dm[col++] = v;
+      if (end == line.size()) break;
+      begin = end + 1;
+    }
+    if (col != pairs)
+      throw std::runtime_error("load_trace: expected " +
+                               std::to_string(pairs) + " columns at line " +
+                               std::to_string(line_no));
+    trace.snapshots.push_back(std::move(dm));
+  }
+  return trace;
+}
+
+TrafficTrace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace figret::traffic

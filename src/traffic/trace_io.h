@@ -1,0 +1,26 @@
+// Traffic-trace file I/O.
+//
+// The paper's evaluation consumes external datasets (GEANT TOTEM matrices,
+// Meta ToR traces); a downstream user of this library will want to feed
+// their own measurements. Format: plain CSV, one snapshot per line, columns
+// are the n*(n-1) ordered off-diagonal pair demands (pair_index order), with
+// a single header line "figret-trace,v1,<num_nodes>".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/demand.h"
+
+namespace figret::traffic {
+
+/// Writes a trace; throws std::runtime_error on I/O failure.
+void save_trace(const TrafficTrace& trace, std::ostream& os);
+void save_trace_file(const TrafficTrace& trace, const std::string& path);
+
+/// Reads a trace written by save_trace. Throws std::runtime_error on
+/// malformed input (bad header, ragged rows, non-numeric or negative cells).
+TrafficTrace load_trace(std::istream& is);
+TrafficTrace load_trace_file(const std::string& path);
+
+}  // namespace figret::traffic

@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing for the example/CLI binaries.
+// Supports --key value and --key=value forms plus boolean switches.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace figret::util {
+
+class Args {
+ public:
+  /// Parses argv; throws std::invalid_argument on a token that is not a
+  /// --flag (positional arguments are collected separately).
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace figret::util

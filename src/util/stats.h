@@ -1,0 +1,55 @@
+// Descriptive statistics used throughout the evaluation harness:
+// per-pair variance (Fig 2), windowed cosine similarity (Fig 4 / Fig 18),
+// box statistics for the normalized-MLU plots (Fig 5), percentiles
+// (Tables 3-5) and Spearman rank correlation (Table 5 analysis).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace figret::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divides by N); 0 for spans of size < 1.
+double variance(std::span<const double> xs) noexcept;
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, q in [0, 100]. Requires non-empty input.
+/// The input need not be sorted (a sorted copy is made).
+double percentile(std::span<const double> xs, double q);
+
+/// Cosine similarity between two equal-length vectors; 0 if either is zero.
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b) noexcept;
+
+/// Spearman rank correlation coefficient (average ranks for ties).
+/// Requires equal, non-zero lengths.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation; 0 when either side has no variance.
+double pearson(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Five-number summary used for the paper's candlestick/box plots.
+struct BoxStats {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the summary; requires a non-empty input.
+BoxStats box_stats(std::span<const double> xs);
+
+/// Fractional ranks with ties sharing their average rank (1-based).
+std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace figret::util

@@ -1,0 +1,41 @@
+// Console table / CSV emission for bench binaries.
+//
+// Every bench prints the rows of the paper's table or the series of the
+// paper's figure through this printer so the output format is uniform and
+// greppable (and optionally mirrored to a CSV file for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace figret::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 4);
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes fields containing commas).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting helper shared by bench binaries.
+std::string fmt(double v, int precision = 4);
+
+}  // namespace figret::util

@@ -1,0 +1,133 @@
+#include "util/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace figret::util {
+namespace {
+
+// Finds the Gaussian bandwidth for row i whose conditional distribution has
+// the requested perplexity, by bisection on the precision beta = 1/(2 sigma^2).
+void row_affinities(const std::vector<double>& d2, std::size_t n, std::size_t i,
+                    double target_entropy, std::vector<double>& p_row) {
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p_row[j] = (j == i) ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      sum += p_row[j];
+    }
+    if (sum <= 0.0) sum = 1e-300;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double p = p_row[j] / sum;
+      if (p > 1e-12) entropy -= p * std::log(p);
+      p_row[j] = p;
+    }
+    if (std::abs(entropy - target_entropy) < 1e-5) return;
+    if (entropy > target_entropy) {
+      beta_lo = beta;
+      beta = (beta_hi >= 1e12) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2.0;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> tsne2d(const std::vector<double>& data, std::size_t n,
+                           std::size_t dim, const TsneOptions& opts) {
+  if (n < 4) throw std::invalid_argument("tsne2d requires at least 4 points");
+  if (data.size() != n * dim)
+    throw std::invalid_argument("tsne2d: data size mismatch");
+
+  // Pairwise squared Euclidean distances in input space.
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double diff = data[i * dim + k] - data[j * dim + k];
+        acc += diff * diff;
+      }
+      d2[i * n + j] = d2[j * n + i] = acc;
+    }
+  }
+
+  const double perplexity =
+      std::min(opts.perplexity, static_cast<double>(n - 1) / 3.0);
+  const double target_entropy = std::log(std::max(perplexity, 2.0));
+
+  // Symmetrized joint probabilities P.
+  std::vector<double> p(n * n, 0.0), row(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_affinities(d2, n, i, target_entropy, row);
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+  }
+  double p_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double sym = (p[i * n + j] + p[j * n + i]) / (2.0 * static_cast<double>(n));
+      d2[i * n + j] = sym;  // reuse d2 as symmetric P storage
+      p_sum += sym;
+    }
+  for (auto& v : d2) v = std::max(v / std::max(p_sum, 1e-300), 1e-12);
+
+  // Gradient descent on the 2D embedding.
+  Rng rng(opts.seed);
+  std::vector<double> y(n * 2), dy(n * 2, 0.0), vel(n * 2, 0.0);
+  for (auto& v : y) v = rng.normal(0.0, 1e-2);
+
+  std::vector<double> q(n * n, 0.0);
+  const int exagger_until = opts.iterations / 4;
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    const double exagger = iter < exagger_until ? opts.exaggeration : 1.0;
+    // Student-t affinities Q in embedding space.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i * 2] - y[j * 2];
+        const double dyv = y[i * 2 + 1] - y[j * 2 + 1];
+        const double num = 1.0 / (1.0 + dx * dx + dyv * dyv);
+        q[i * n + j] = q[j * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+    q_sum = std::max(q_sum, 1e-300);
+
+    std::fill(dy.begin(), dy.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double num = q[i * n + j];
+        const double qij = std::max(num / q_sum, 1e-12);
+        const double coeff = 4.0 * (exagger * d2[i * n + j] - qij) * num;
+        dy[i * 2] += coeff * (y[i * 2] - y[j * 2]);
+        dy[i * 2 + 1] += coeff * (y[i * 2 + 1] - y[j * 2 + 1]);
+      }
+
+    for (std::size_t k = 0; k < n * 2; ++k) {
+      vel[k] = opts.momentum * vel[k] - opts.learning_rate * dy[k];
+      y[k] += vel[k];
+    }
+    // Re-center to keep coordinates bounded.
+    double cx = 0.0, cy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cx += y[i * 2];
+      cy += y[i * 2 + 1];
+    }
+    cx /= static_cast<double>(n);
+    cy /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i * 2] -= cx;
+      y[i * 2 + 1] -= cy;
+    }
+  }
+  return y;
+}
+
+}  // namespace figret::util

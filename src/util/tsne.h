@@ -1,0 +1,31 @@
+// Exact (O(n^2)) t-distributed Stochastic Neighbor Embedding.
+//
+// Used by the Appendix-F reproduction (Figures 16/17) to embed traffic
+// snapshots into 2D and measure how the traffic distribution drifts across
+// quartiles of the trace. Snapshot counts there are small (hundreds), so the
+// exact formulation is sufficient; no Barnes-Hut tree is needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace figret::util {
+
+struct TsneOptions {
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  /// Early exaggeration factor applied for the first quarter of iterations.
+  double exaggeration = 4.0;
+  std::uint64_t seed = 7;
+};
+
+/// Embeds `n` points of dimension `dim` (row-major in `data`, size n*dim)
+/// into 2D. Returns n rows of 2 coordinates (size n*2).
+/// Requires n >= 4; perplexity is clamped to (n-1)/3.
+std::vector<double> tsne2d(const std::vector<double>& data, std::size_t n,
+                           std::size_t dim, const TsneOptions& opts = {});
+
+}  // namespace figret::util

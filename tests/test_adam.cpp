@@ -1,0 +1,104 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace figret::nn {
+namespace {
+
+Mlp tiny_model(std::uint64_t seed = 1) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {2, 8, 1};
+  cfg.output = OutputActivation::kIdentity;
+  cfg.seed = seed;
+  return Mlp(cfg);
+}
+
+TEST(Adam, StepMovesParametersAgainstGradient) {
+  Mlp m = tiny_model();
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  Adam adam(m, cfg);
+
+  MlpGradients g = m.make_gradients();
+  // Positive gradient on one weight must decrease it.
+  g.weight[0](0, 0) = 1.0;
+  const double before = m.weights()[0](0, 0);
+  adam.step(m, g);
+  EXPECT_LT(m.weights()[0](0, 0), before);
+  EXPECT_EQ(adam.steps_taken(), 1u);
+}
+
+TEST(Adam, ZeroGradientLeavesParametersUnchanged) {
+  Mlp m = tiny_model();
+  Adam adam(m);
+  MlpGradients g = m.make_gradients();
+  const double before = m.weights()[1](0, 3);
+  adam.step(m, g);
+  EXPECT_DOUBLE_EQ(m.weights()[1](0, 3), before);
+}
+
+TEST(Adam, FirstStepSizeApproxLearningRate) {
+  // With bias correction, the first Adam step has magnitude ~lr regardless
+  // of gradient scale.
+  Mlp m = tiny_model();
+  AdamConfig cfg;
+  cfg.learning_rate = 0.05;
+  Adam adam(m, cfg);
+  MlpGradients g = m.make_gradients();
+  g.weight[0](0, 0) = 1234.5;
+  const double before = m.weights()[0](0, 0);
+  adam.step(m, g);
+  EXPECT_NEAR(before - m.weights()[0](0, 0), 0.05, 1e-6);
+}
+
+TEST(Adam, ClipNormBoundsUpdate) {
+  Mlp m = tiny_model();
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1;
+  cfg.clip_norm = 1.0;
+  Adam adam(m, cfg);
+  MlpGradients g = m.make_gradients();
+  for (auto& w : g.weight)
+    for (double& v : w.flat()) v = 100.0;
+  // Clipping rescales the gradient globally; updates stay ~lr in size.
+  const double before = m.weights()[0](0, 0);
+  adam.step(m, g);
+  EXPECT_LE(std::abs(m.weights()[0](0, 0) - before), 0.11);
+}
+
+TEST(Adam, ConvergesOnLinearRegression) {
+  // Train y = 2 x0 - 3 x1 + 0.5; Adam must drive the MSE near zero.
+  Mlp m = tiny_model(7);
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  Adam adam(m, cfg);
+  MlpGradients g = m.make_gradients();
+  MlpWorkspace ws;
+  util::Rng rng(3);
+
+  auto target = [](double a, double b) { return 2.0 * a - 3.0 * b + 0.5; };
+  double final_loss = 1e300;
+  for (int step = 0; step < 3000; ++step) {
+    g.zero();
+    double loss = 0.0;
+    for (int k = 0; k < 8; ++k) {
+      const std::vector<double> x{rng.uniform(-1.0, 1.0),
+                                  rng.uniform(-1.0, 1.0)};
+      const auto y = m.forward(x, ws);
+      const double err = y[0] - target(x[0], x[1]);
+      loss += 0.5 * err * err;
+      const std::vector<double> dl{err / 8.0};
+      m.backward(x, ws, dl, g);
+    }
+    adam.step(m, g);
+    final_loss = loss / 8.0;
+  }
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace figret::nn

@@ -1,0 +1,71 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace figret::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, KeyValueSpaceForm) {
+  const Args a = parse({"--scenario", "GEANT", "--epochs", "20"});
+  EXPECT_EQ(a.get_or("scenario", ""), "GEANT");
+  EXPECT_EQ(a.get_int("epochs", 0), 20);
+}
+
+TEST(Args, KeyValueEqualsForm) {
+  const Args a = parse({"--scheme=DOTE", "--weight=2.5"});
+  EXPECT_EQ(a.get_or("scheme", ""), "DOTE");
+  EXPECT_DOUBLE_EQ(a.get_double("weight", 0.0), 2.5);
+}
+
+TEST(Args, BooleanSwitch) {
+  const Args a = parse({"--verbose", "--full=false"});
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_FALSE(a.get_bool("full", true));
+  EXPECT_FALSE(a.get_bool("absent"));
+  EXPECT_TRUE(a.get_bool("absent", true));
+}
+
+TEST(Args, SwitchFollowedByFlag) {
+  const Args a = parse({"--quick", "--scenario", "pFabric"});
+  EXPECT_TRUE(a.get_bool("quick"));
+  EXPECT_EQ(a.get_or("scenario", ""), "pFabric");
+}
+
+TEST(Args, PositionalCollected) {
+  const Args a = parse({"input.txt", "--k", "3", "output.txt"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.txt");
+  EXPECT_EQ(a.positional()[1], "output.txt");
+}
+
+TEST(Args, MissingKeysFallBack) {
+  const Args a = parse({});
+  EXPECT_FALSE(a.has("x"));
+  EXPECT_EQ(a.get_or("x", "d"), "d");
+  EXPECT_EQ(a.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+}
+
+TEST(Args, BadNumbersThrow) {
+  const Args a = parse({"--n", "abc"});
+  EXPECT_THROW(a.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(a.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Args, BareDoubleDashThrows) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Args, LastOccurrenceWins) {
+  const Args a = parse({"--k", "1", "--k", "2"});
+  EXPECT_EQ(a.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace figret::util

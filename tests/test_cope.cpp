@@ -1,0 +1,119 @@
+#include "te/cope.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "traffic/generators.h"
+
+namespace figret::te {
+namespace {
+
+PathSet triangle_pathset() {
+  net::Graph g(3);
+  g.add_link(0, 1, 2.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(0, 2, 2.0);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 2));
+}
+
+traffic::TrafficTrace stable_trace(std::size_t n, std::size_t len) {
+  return traffic::gravity_trace(n, len, 31);
+}
+
+TEST(Cope, EnvelopeHolds) {
+  const PathSet ps = triangle_pathset();
+  CopeOptions opt;
+  opt.penalty_ratio = 1.5;
+  opt.oblivious.max_rounds = 40;
+  const CopeResult r = solve_cope(ps, stable_trace(3, 40), opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(valid_config(ps, r.config));
+  // Worst-case MLU within the penalty envelope of the oblivious optimum.
+  EXPECT_LE(r.worst_mlu,
+            opt.penalty_ratio * r.oblivious_mlu * (1.0 + 1e-2) + 1e-9);
+}
+
+TEST(Cope, PredictedPerformanceBeatsOblivious) {
+  // COPE's whole point: on the predicted demand set it outperforms pure
+  // oblivious routing (which optimizes only the worst case).
+  const PathSet ps = triangle_pathset();
+  const auto train = stable_trace(3, 40);
+  CopeOptions opt;
+  opt.penalty_ratio = 2.0;
+  opt.oblivious.max_rounds = 40;
+  const CopeResult cope = solve_cope(ps, train, opt);
+  ASSERT_TRUE(cope.converged);
+  const ObliviousResult obl = solve_oblivious(ps, opt.oblivious);
+
+  // Evaluate both on the recent training demands.
+  double cope_mlu = 0.0, obl_mlu = 0.0;
+  for (std::size_t t = train.size() - 10; t < train.size(); ++t) {
+    cope_mlu += mlu(ps, train[t], cope.config);
+    obl_mlu += mlu(ps, train[t], obl.config);
+  }
+  EXPECT_LE(cope_mlu, obl_mlu + 1e-6);
+}
+
+TEST(Cope, PredictedMluNearOptimalWithLooseEnvelope) {
+  // With a very loose envelope, COPE should approach the per-demand optimum
+  // on its predicted set (the envelope never binds).
+  const PathSet ps = triangle_pathset();
+  const auto train = stable_trace(3, 30);
+  CopeOptions opt;
+  opt.penalty_ratio = 100.0;
+  opt.oblivious.max_rounds = 40;
+  const CopeResult r = solve_cope(ps, train, opt);
+  ASSERT_TRUE(r.converged);
+
+  // The best achievable max-MLU over the predicted set is at least the max
+  // of per-demand optima; COPE should be within a modest factor.
+  double lower = 0.0;
+  for (std::size_t t = train.size() - 12; t < train.size(); ++t) {
+    const MluLpResult per = solve_mlu_lp(ps, train[t]);
+    ASSERT_TRUE(per.optimal);
+    lower = std::max(lower, per.mlu);
+  }
+  EXPECT_GE(r.predicted_mlu + 1e-9, lower);
+  EXPECT_LE(r.predicted_mlu, lower * 1.5 + 1e-9);
+}
+
+TEST(Cope, TighterEnvelopeTradesPredictedPerformance) {
+  const PathSet ps = triangle_pathset();
+  const auto train = stable_trace(3, 30);
+  CopeOptions loose;
+  loose.penalty_ratio = 10.0;
+  loose.oblivious.max_rounds = 40;
+  CopeOptions tight;
+  tight.penalty_ratio = 1.02;
+  tight.oblivious.max_rounds = 40;
+  const CopeResult r_loose = solve_cope(ps, train, loose);
+  const CopeResult r_tight = solve_cope(ps, train, tight);
+  // A tighter worst-case envelope cannot improve predicted-set performance.
+  EXPECT_GE(r_tight.predicted_mlu + 1e-6, r_loose.predicted_mlu);
+  // But it must yield a better (or equal) worst case.
+  EXPECT_LE(worst_case_mlu_hose(ps, r_tight.config),
+            worst_case_mlu_hose(ps, r_loose.config) + 1e-3);
+}
+
+TEST(CopeTe, SchemeLifecycle) {
+  const PathSet ps = triangle_pathset();
+  CopeTe scheme(ps);
+  EXPECT_EQ(scheme.name(), "COPE");
+  EXPECT_THROW(scheme.advise({}), std::logic_error);
+  scheme.fit(stable_trace(3, 25));
+  const TeConfig cfg = scheme.advise({});
+  EXPECT_TRUE(valid_config(ps, cfg));
+}
+
+TEST(Cope, EmptyTrainingThrows) {
+  const PathSet ps = triangle_pathset();
+  traffic::TrafficTrace empty;
+  empty.num_nodes = 3;
+  EXPECT_THROW(solve_cope(ps, empty, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace figret::te

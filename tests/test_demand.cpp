@@ -1,0 +1,95 @@
+#include "traffic/demand.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace figret::traffic {
+namespace {
+
+TEST(PairIndex, RoundTripsForAllPairs) {
+  constexpr std::size_t n = 7;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::size_t idx = pair_index(n, s, d);
+      ASSERT_LT(idx, num_pairs(n));
+      const auto [s2, d2] = pair_nodes(n, idx);
+      EXPECT_EQ(s2, s);
+      EXPECT_EQ(d2, d);
+      ++count;
+    }
+  EXPECT_EQ(count, num_pairs(n));
+}
+
+TEST(PairIndex, IsDense) {
+  constexpr std::size_t n = 5;
+  std::vector<bool> hit(num_pairs(n), false);
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::size_t idx = pair_index(n, s, d);
+      EXPECT_FALSE(hit[idx]);
+      hit[idx] = true;
+    }
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(DemandMatrix, SetAndGet) {
+  DemandMatrix dm(4);
+  EXPECT_EQ(dm.num_nodes(), 4u);
+  EXPECT_EQ(dm.size(), 12u);
+  dm.set(1, 3, 2.5);
+  EXPECT_DOUBLE_EQ(dm.at(1, 3), 2.5);
+  EXPECT_DOUBLE_EQ(dm.at(3, 1), 0.0);
+}
+
+TEST(DemandMatrix, TotalSumsEverything) {
+  DemandMatrix dm(3, 1.0);
+  EXPECT_DOUBLE_EQ(dm.total(), 6.0);
+  dm.set(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(dm.total(), 10.0);
+}
+
+TEST(DemandMatrix, ConstructFromValuesValidatesSize) {
+  std::vector<double> ok(6, 1.0);
+  EXPECT_NO_THROW(DemandMatrix(3, ok));
+  std::vector<double> bad(5, 1.0);
+  EXPECT_THROW(DemandMatrix(3, bad), std::invalid_argument);
+}
+
+TrafficTrace make_trace(std::size_t n, std::size_t len) {
+  TrafficTrace t;
+  t.num_nodes = n;
+  for (std::size_t i = 0; i < len; ++i)
+    t.snapshots.emplace_back(n, static_cast<double>(i));
+  return t;
+}
+
+TEST(TrafficTrace, SplitChronological) {
+  const TrafficTrace t = make_trace(3, 100);
+  const auto [train, test] = t.split(0.75);
+  EXPECT_EQ(train.size(), 75u);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_DOUBLE_EQ(train[74][0], 74.0);
+  EXPECT_DOUBLE_EQ(test[0][0], 75.0);
+}
+
+TEST(TrafficTrace, SplitClampsFraction) {
+  const TrafficTrace t = make_trace(3, 10);
+  EXPECT_EQ(t.split(-0.5).first.size(), 0u);
+  EXPECT_EQ(t.split(1.5).first.size(), 10u);
+}
+
+TEST(TrafficTrace, SliceBounds) {
+  const TrafficTrace t = make_trace(3, 10);
+  const TrafficTrace mid = t.slice(2, 5);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0][0], 2.0);
+  EXPECT_EQ(t.slice(8, 100).size(), 2u);  // end clamped
+  EXPECT_EQ(t.slice(5, 3).size(), 0u);    // inverted range is empty
+}
+
+}  // namespace
+}  // namespace figret::traffic

@@ -1,0 +1,256 @@
+#include "te/figret.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "traffic/generators.h"
+#include "traffic/stats.h"
+
+namespace figret::te {
+namespace {
+
+PathSet mesh_pathset(std::size_t n) {
+  const net::Graph g = net::full_mesh(n);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+}
+
+FigretOptions fast_options() {
+  FigretOptions opt;
+  opt.history = 4;
+  opt.hidden = {64, 64};
+  opt.epochs = 8;
+  opt.batch_size = 8;
+  return opt;
+}
+
+TEST(Figret, DoteOptionsDisableRobustness) {
+  FigretOptions base;
+  base.robust_weight = 3.0;
+  const FigretOptions dote = dote_options(base);
+  EXPECT_DOUBLE_EQ(dote.robust_weight, 0.0);
+  EXPECT_EQ(dote.history, base.history);
+}
+
+TEST(Figret, LifecycleGuards) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  EXPECT_EQ(scheme.name(), "FIGRET");
+  std::vector<traffic::DemandMatrix> history(4, traffic::DemandMatrix(4, 1.0));
+  EXPECT_THROW(scheme.advise(history), std::logic_error);
+  EXPECT_THROW(scheme.model(), std::logic_error);
+
+  FigretOptions bad = fast_options();
+  bad.history = 0;
+  EXPECT_THROW(FigretScheme(ps, bad), std::invalid_argument);
+}
+
+TEST(Figret, FitRejectsShortOrMismatchedTraces) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  traffic::TrafficTrace tiny;
+  tiny.num_nodes = 4;
+  for (int i = 0; i < 3; ++i) tiny.snapshots.emplace_back(4, 1.0);
+  EXPECT_THROW(scheme.fit(tiny), std::invalid_argument);
+
+  traffic::TrafficTrace wrong = traffic::gravity_trace(5, 30, 1);
+  EXPECT_THROW(scheme.fit(wrong), std::invalid_argument);
+}
+
+TEST(Figret, AdviseProducesValidConfigs) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  const auto trace = traffic::dc_tor_trace(4, 120, 3);
+  scheme.fit(trace);
+  for (std::size_t t = trace.size() - 10; t < trace.size(); ++t) {
+    const std::span<const traffic::DemandMatrix> history{
+        trace.snapshots.data() + (t - 4), 4};
+    const TeConfig cfg = scheme.advise(history);
+    EXPECT_TRUE(valid_config(ps, cfg));
+  }
+}
+
+TEST(Figret, TrainingApproachesOptimalOnStableTraffic) {
+  // On perfectly learnable (stable gravity) traffic, the DNN's MLU should
+  // land close to the per-snapshot LP optimum.
+  const PathSet ps = mesh_pathset(4);
+  FigretOptions opt = fast_options();
+  opt.epochs = 30;
+  opt.robust_weight = 0.0;
+  FigretScheme scheme(ps, opt, "DOTE");
+  const auto trace = traffic::gravity_trace(4, 160, 5);
+  const auto [train, test] = trace.split(0.8);
+  scheme.fit(train);
+
+  double ratio_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 4; t < test.size(); ++t) {
+    const std::span<const traffic::DemandMatrix> history{
+        test.snapshots.data() + (t - 4), 4};
+    const TeConfig cfg = scheme.advise(history);
+    const MluLpResult opt_lp = solve_mlu_lp(ps, test[t]);
+    ASSERT_TRUE(opt_lp.optimal);
+    ratio_sum += mlu(ps, test[t], cfg) / opt_lp.mlu;
+    ++count;
+  }
+  EXPECT_LT(ratio_sum / static_cast<double>(count), 1.35);
+}
+
+TEST(Figret, PairWeightsProportionalToVariance) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  const auto trace = traffic::dc_tor_trace(4, 100, 7);
+  scheme.fit(trace);
+  const auto var = traffic::pair_variances(trace);
+  const auto& got = scheme.pair_weights();
+  ASSERT_EQ(got.size(), var.size());
+  // Weights are variances divided by one global constant: all ratios agree.
+  const std::size_t ref = static_cast<std::size_t>(
+      std::max_element(var.begin(), var.end()) - var.begin());
+  ASSERT_GT(var[ref], 0.0);
+  const double k = got[ref] / var[ref];
+  EXPECT_GT(k, 0.0);
+  for (std::size_t p = 0; p < got.size(); ++p)
+    EXPECT_NEAR(got[p], k * var[p], 1e-9 + 1e-6 * got[p]);
+}
+
+TEST(Figret, PairWeightsInvariantToTrafficUnits) {
+  // Scaling every demand by a constant must not change the weights — the
+  // loss balance between L1 and L2 is unit-free.
+  const PathSet ps = mesh_pathset(4);
+  const auto trace = traffic::dc_tor_trace(4, 100, 7);
+  traffic::TrafficTrace scaled = trace;
+  for (auto& dm : scaled.snapshots)
+    for (double& v : dm.values()) v *= 1000.0;
+
+  FigretScheme a(ps, fast_options());
+  a.fit(trace);
+  FigretScheme b(ps, fast_options());
+  b.fit(scaled);
+  for (std::size_t p = 0; p < a.pair_weights().size(); ++p)
+    EXPECT_NEAR(a.pair_weights()[p], b.pair_weights()[p],
+                1e-9 + 1e-6 * a.pair_weights()[p]);
+}
+
+TEST(Figret, RobustnessTermLowersBurstyPairSensitivity) {
+  // One pair bursts wildly; all others are stable. FIGRET (high robust
+  // weight) must assign that pair a lower max path sensitivity than DOTE.
+  const std::size_t n = 4;
+  const PathSet ps = mesh_pathset(n);
+  traffic::TrafficTrace trace;
+  trace.num_nodes = n;
+  util::Rng rng(11);
+  const std::size_t bursty = traffic::pair_index(n, 0, 1);
+  for (std::size_t t = 0; t < 160; ++t) {
+    traffic::DemandMatrix dm(n, 0.2);
+    dm[bursty] = rng.bernoulli(0.15) ? rng.uniform(1.0, 3.0) : 0.15;
+    trace.snapshots.push_back(std::move(dm));
+  }
+
+  FigretOptions fopt = fast_options();
+  fopt.epochs = 25;
+  fopt.robust_weight = 10.0;
+  FigretScheme figret(ps, fopt);
+  figret.fit(trace);
+
+  FigretScheme dote(ps, dote_options(fopt), "DOTE");
+  dote.fit(trace);
+
+  // Average the bursty pair's max sensitivity over several advise calls.
+  double fig_sens = 0.0, dote_sens = 0.0;
+  int count = 0;
+  for (std::size_t t = trace.size() - 20; t < trace.size(); ++t) {
+    const std::span<const traffic::DemandMatrix> history{
+        trace.snapshots.data() + (t - fopt.history), fopt.history};
+    fig_sens += max_pair_sensitivities(ps, figret.advise(history))[bursty];
+    dote_sens += max_pair_sensitivities(ps, dote.advise(history))[bursty];
+    ++count;
+  }
+  EXPECT_LT(fig_sens / count, dote_sens / count);
+}
+
+TEST(Figret, FinalLossIsFinitePositive) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  scheme.fit(traffic::dc_tor_trace(4, 80, 13));
+  EXPECT_GT(scheme.final_epoch_loss(), 0.0);
+  EXPECT_TRUE(std::isfinite(scheme.final_epoch_loss()));
+}
+
+TEST(Figret, DeterministicGivenSeed) {
+  const PathSet ps = mesh_pathset(4);
+  const auto trace = traffic::dc_tor_trace(4, 80, 17);
+  FigretScheme a(ps, fast_options());
+  FigretScheme b(ps, fast_options());
+  a.fit(trace);
+  b.fit(trace);
+  const std::span<const traffic::DemandMatrix> history{
+      trace.snapshots.data() + trace.size() - 4, 4};
+  const TeConfig ca = a.advise(history);
+  const TeConfig cb = b.advise(history);
+  for (std::size_t p = 0; p < ca.size(); ++p) EXPECT_DOUBLE_EQ(ca[p], cb[p]);
+}
+
+TEST(Figret, MakeDoteFactory) {
+  const PathSet ps = mesh_pathset(4);
+  const auto dote = make_dote(ps, fast_options());
+  EXPECT_EQ(dote->name(), "DOTE");
+}
+
+TEST(Figret, SaveLoadRoundTripPreservesAdvise) {
+  const PathSet ps = mesh_pathset(4);
+  const auto trace = traffic::dc_tor_trace(4, 80, 19);
+  FigretScheme trained(ps, fast_options());
+  trained.fit(trace);
+
+  std::stringstream buffer;
+  trained.save(buffer);
+
+  FigretScheme fresh(ps, fast_options());
+  fresh.load(buffer);
+
+  const std::span<const traffic::DemandMatrix> history{
+      trace.snapshots.data() + trace.size() - 4, 4};
+  const TeConfig a = trained.advise(history);
+  const TeConfig b = fresh.advise(history);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) EXPECT_DOUBLE_EQ(a[p], b[p]);
+  // Pair weights restored too (needed if training is later resumed).
+  for (std::size_t p = 0; p < ps.num_pairs(); ++p)
+    EXPECT_DOUBLE_EQ(fresh.pair_weights()[p], trained.pair_weights()[p]);
+}
+
+TEST(Figret, SaveRequiresFit) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  std::stringstream buffer;
+  EXPECT_THROW(scheme.save(buffer), std::logic_error);
+}
+
+TEST(Figret, LoadRejectsMismatchedTopology) {
+  const PathSet ps4 = mesh_pathset(4);
+  const PathSet ps5 = mesh_pathset(5);
+  FigretScheme trained(ps4, fast_options());
+  trained.fit(traffic::dc_tor_trace(4, 60, 23));
+  std::stringstream buffer;
+  trained.save(buffer);
+
+  FigretScheme other(ps5, fast_options());
+  EXPECT_THROW(other.load(buffer), std::runtime_error);
+}
+
+TEST(Figret, LoadRejectsGarbage) {
+  const PathSet ps = mesh_pathset(4);
+  FigretScheme scheme(ps, fast_options());
+  std::stringstream buffer;
+  buffer << "not a checkpoint";
+  EXPECT_THROW(scheme.load(buffer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace figret::te

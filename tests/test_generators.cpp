@@ -1,0 +1,201 @@
+#include "traffic/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "traffic/stats.h"
+#include "util/stats.h"
+
+namespace figret::traffic {
+namespace {
+
+TEST(Gravity, ShapeAndPositivity) {
+  const TrafficTrace t = gravity_trace(6, 50, 1);
+  EXPECT_EQ(t.num_nodes, 6u);
+  EXPECT_EQ(t.size(), 50u);
+  for (const auto& dm : t.snapshots)
+    for (double v : dm.values()) EXPECT_GT(v, 0.0);
+}
+
+TEST(Gravity, DeterministicPerSeed) {
+  const TrafficTrace a = gravity_trace(5, 20, 42);
+  const TrafficTrace b = gravity_trace(5, 20, 42);
+  for (std::size_t t = 0; t < a.size(); ++t)
+    for (std::size_t p = 0; p < a[t].size(); ++p)
+      EXPECT_DOUBLE_EQ(a[t][p], b[t][p]);
+}
+
+TEST(Gravity, TotalVolumeApproximatelyConstant) {
+  GravityOptions opt;
+  opt.total_volume = 3.0;
+  const TrafficTrace t = gravity_trace(6, 100, 3, opt);
+  for (const auto& dm : t.snapshots) EXPECT_NEAR(dm.total(), 3.0, 0.5);
+}
+
+TEST(Gravity, IsStable) {
+  // The gravity trace is the paper's "stable" workload: windowed cosine
+  // similarity must sit very close to 1 (Fig 4, UsCarrier/Cogentco bars).
+  const TrafficTrace t = gravity_trace(8, 120, 5);
+  const auto cos = window_max_cosine(t, 12);
+  EXPECT_GT(*std::min_element(cos.begin(), cos.end()), 0.99);
+}
+
+TEST(Wan, BurstsExistButAreRare) {
+  WanOptions opt;
+  const TrafficTrace t = wan_trace(10, 400, 7, opt);
+  const auto cos = window_max_cosine(t, 12);
+  const double low =
+      static_cast<double>(std::count_if(cos.begin(), cos.end(),
+                                        [](double c) { return c < 0.9; })) /
+      static_cast<double>(cos.size());
+  // Mostly stable...
+  EXPECT_LT(low, 0.2);
+  // ...but with genuine outliers (unexpected bursts).
+  EXPECT_GT(low, 0.0);
+}
+
+TEST(Wan, DiurnalModulatesVolume) {
+  WanOptions opt;
+  opt.diurnal_amplitude = 0.5;
+  opt.diurnal_period = 40;
+  opt.bursty_fraction = 0.0;  // isolate the diurnal component
+  const TrafficTrace t = wan_trace(6, 40, 11, opt);
+  double lo = 1e300, hi = 0.0;
+  for (const auto& dm : t.snapshots) {
+    lo = std::min(lo, dm.total());
+    hi = std::max(hi, dm.total());
+  }
+  EXPECT_GT(hi / lo, 1.5);
+}
+
+TEST(DcTor, HeterogeneousPairVariance) {
+  // Fig 2's key property: per-pair variance differs by orders of magnitude.
+  const TrafficTrace t = dc_tor_trace(12, 300, 13);
+  const auto var = normalized_pair_variances(t);
+  const double hi = *std::max_element(var.begin(), var.end());
+  std::vector<double> sorted = var;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+  EXPECT_LT(median, 0.2);  // most pairs are far more stable than the worst
+}
+
+TEST(DcTor, MoreBurstyThanWan) {
+  // Fig 4's ordering: ToR-level traffic is less self-similar than WAN.
+  const TrafficTrace tor = dc_tor_trace(10, 300, 17);
+  const TrafficTrace wan = wan_trace(10, 300, 17);
+  const double tor_med =
+      util::percentile(window_max_cosine(tor, 12), 50.0);
+  const double wan_med =
+      util::percentile(window_max_cosine(wan, 12), 50.0);
+  EXPECT_LT(tor_med, wan_med);
+}
+
+TEST(DcPod, AggregationStabilizes) {
+  // Fig 4: PoD-level (aggregated) traffic is more stable than ToR-level.
+  DcOptions opt;
+  const TrafficTrace tor = dc_tor_trace(16, 250, 19, opt);
+  const TrafficTrace pod = dc_pod_trace(4, 4, 250, 19, opt);
+  const double tor_med = util::percentile(window_max_cosine(tor, 12), 50.0);
+  const double pod_med = util::percentile(window_max_cosine(pod, 12), 50.0);
+  EXPECT_GT(pod_med, tor_med);
+}
+
+TEST(DcPod, ShapeMatches) {
+  const TrafficTrace pod = dc_pod_trace(4, 3, 30, 23);
+  EXPECT_EQ(pod.num_nodes, 4u);
+  EXPECT_EQ(pod.size(), 30u);
+}
+
+TEST(Pfabric, FlowSizesFollowDistributionSupport) {
+  util::Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const double kb = web_search_flow_size_kb(rng);
+    EXPECT_GE(kb, 1.0);
+    EXPECT_LE(kb, 20000.0);
+  }
+}
+
+TEST(Pfabric, FlowSizeMedianInWebSearchRange) {
+  util::Rng rng(31);
+  std::vector<double> sizes(20000);
+  for (auto& s : sizes) s = web_search_flow_size_kb(rng);
+  const double median = util::percentile(sizes, 50.0);
+  // The web-search distribution's median sits between 19KB and 33KB.
+  EXPECT_GT(median, 15.0);
+  EXPECT_LT(median, 40.0);
+}
+
+TEST(Pfabric, TraceShapeAndNonNegativity) {
+  const TrafficTrace t = pfabric_trace(9, 100, 37);
+  EXPECT_EQ(t.num_nodes, 9u);
+  EXPECT_EQ(t.size(), 100u);
+  double total = 0.0;
+  for (const auto& dm : t.snapshots) {
+    for (double v : dm.values()) EXPECT_GE(v, 0.0);
+    total += dm.total();
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Pfabric, UniformPairSelection) {
+  PfabricOptions opt;
+  opt.flows_per_interval = 2000.0;
+  const TrafficTrace t = pfabric_trace(5, 200, 41, opt);
+  // Long-run per-pair totals should be roughly equal (uniform SD choice).
+  std::vector<double> totals(num_pairs(5), 0.0);
+  for (const auto& dm : t.snapshots)
+    for (std::size_t p = 0; p < totals.size(); ++p) totals[p] += dm[p];
+  const double mean_total = util::mean(totals);
+  for (double v : totals) EXPECT_NEAR(v / mean_total, 1.0, 0.35);
+}
+
+TEST(Perturb, AlphaZeroIsIdentity) {
+  const TrafficTrace base = dc_tor_trace(6, 50, 43);
+  const TrafficTrace noisy = perturb_gaussian(base, base, 0.0, 1);
+  for (std::size_t t = 0; t < base.size(); ++t)
+    for (std::size_t p = 0; p < base[t].size(); ++p)
+      EXPECT_DOUBLE_EQ(noisy[t][p], base[t][p]);
+}
+
+TEST(Perturb, LargerAlphaLargerDeviation) {
+  const TrafficTrace base = dc_tor_trace(6, 80, 47);
+  auto deviation = [&](double alpha) {
+    const TrafficTrace noisy = perturb_gaussian(base, base, alpha, 9);
+    double acc = 0.0;
+    for (std::size_t t = 0; t < base.size(); ++t)
+      for (std::size_t p = 0; p < base[t].size(); ++p)
+        acc += std::abs(noisy[t][p] - base[t][p]);
+    return acc;
+  };
+  EXPECT_LT(deviation(0.2), deviation(2.0));
+}
+
+TEST(Perturb, NeverNegative) {
+  const TrafficTrace base = dc_tor_trace(5, 60, 53);
+  const TrafficTrace noisy = perturb_gaussian(base, base, 2.0, 11);
+  for (const auto& dm : noisy.snapshots)
+    for (double v : dm.values()) EXPECT_GE(v, 0.0);
+}
+
+TEST(Perturb, RankReversalTargetsStablePairs) {
+  const TrafficTrace base = dc_tor_trace(8, 200, 59);
+  const auto var = pair_variances(base);
+  const std::size_t most_stable = static_cast<std::size_t>(
+      std::min_element(var.begin(), var.end()) - var.begin());
+
+  const TrafficTrace rev = perturb_gaussian_rank_reversed(base, base, 1.0, 3);
+  // The historically most stable pair receives the largest sigma, so its
+  // perturbed column must deviate far more than under matched-rank noise.
+  const TrafficTrace match = perturb_gaussian(base, base, 1.0, 3);
+  double dev_rev = 0.0, dev_match = 0.0;
+  for (std::size_t t = 0; t < base.size(); ++t) {
+    dev_rev += std::abs(rev[t][most_stable] - base[t][most_stable]);
+    dev_match += std::abs(match[t][most_stable] - base[t][most_stable]);
+  }
+  EXPECT_GT(dev_rev, dev_match * 2.0);
+}
+
+}  // namespace
+}  // namespace figret::traffic

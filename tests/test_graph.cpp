@@ -1,0 +1,129 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace figret::net {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_link(0, 1, 2.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(0, 2, 2.0);
+  return g;
+}
+
+TEST(Graph, AddEdgeAndLookup) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 5.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).src, 0u);
+  EXPECT_EQ(g.edge(e).dst, 1u);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 5.0);
+  EXPECT_EQ(g.find_edge(0, 1), e);
+  EXPECT_EQ(g.find_edge(1, 0), g.num_edges());  // absent
+}
+
+TEST(Graph, AddLinkCreatesBothDirections) {
+  Graph g(2);
+  g.add_link(0, 1, 3.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_NE(g.find_edge(0, 1), g.num_edges());
+  EXPECT_NE(g.find_edge(1, 0), g.num_edges());
+}
+
+TEST(Graph, RejectsInvalidEdges) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);  // zero cap
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, OutEdgesDeterministicOrder) {
+  Graph g(4);
+  const EdgeId a = g.add_edge(0, 1, 1.0);
+  const EdgeId b = g.add_edge(0, 2, 1.0);
+  const EdgeId c = g.add_edge(0, 3, 1.0);
+  const auto out = g.out_edges(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+  EXPECT_EQ(out[2], c);
+}
+
+TEST(Graph, StronglyConnectedTriangle) {
+  EXPECT_TRUE(triangle().strongly_connected());
+}
+
+TEST(Graph, DirectedCycleIsStronglyConnected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(Graph, OneWayEdgeIsNotStronglyConnected) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+TEST(Graph, DisconnectedIsNotStronglyConnected) {
+  Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(2, 3, 1.0);
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+TEST(Graph, NormalizeCapacities) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2, 10.0);
+  EXPECT_DOUBLE_EQ(g.min_capacity(), 2.5);
+  g.normalize_capacities();
+  EXPECT_DOUBLE_EQ(g.min_capacity(), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge(1).capacity, 4.0);
+}
+
+TEST(Path, CapacityIsBottleneck) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, 5.0);
+  const EdgeId e12 = g.add_edge(1, 2, 2.0);
+  Path p{{0, 1, 2}, {e01, e12}};
+  EXPECT_DOUBLE_EQ(path_capacity(g, p), 2.0);
+  EXPECT_EQ(p.hops(), 2u);
+}
+
+TEST(Path, EmptyPathCapacityZero) {
+  const Graph g(2);
+  EXPECT_DOUBLE_EQ(path_capacity(g, Path{}), 0.0);
+}
+
+TEST(Path, ValidityChecks) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1, 1.0);
+  const EdgeId e12 = g.add_edge(1, 2, 1.0);
+  const EdgeId e10 = g.add_edge(1, 0, 1.0);
+
+  const Path good{{0, 1, 2}, {e01, e12}};
+  EXPECT_TRUE(valid_path(g, good, 0, 2));
+  EXPECT_FALSE(valid_path(g, good, 0, 3));  // wrong destination
+
+  const Path wrong_edges{{0, 1, 2}, {e01, e10}};
+  EXPECT_FALSE(valid_path(g, wrong_edges, 0, 2));
+
+  const Path loop{{0, 1, 0}, {e01, e10}};
+  EXPECT_FALSE(valid_path(g, loop, 0, 0));  // revisits node 0
+}
+
+TEST(Path, ToStringFormat) {
+  const Path p{{3, 1, 4}, {0, 1}};
+  EXPECT_EQ(to_string(p), "3->1->4");
+}
+
+}  // namespace
+}  // namespace figret::net

@@ -1,0 +1,79 @@
+#include "net/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/topology.h"
+
+namespace figret::net {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesArcs) {
+  const Graph original = geant();
+  std::stringstream buffer;
+  save_graph(original, buffer);
+  const Graph loaded = load_graph(buffer);
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(loaded.edge(e).src, original.edge(e).src);
+    EXPECT_EQ(loaded.edge(e).dst, original.edge(e).dst);
+    EXPECT_DOUBLE_EQ(loaded.edge(e).capacity, original.edge(e).capacity);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph original = full_mesh(4);
+  const std::string path = "/tmp/figret_test_graph.csv";
+  save_graph_file(original, path);
+  const Graph loaded = load_graph_file(path);
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlanksSkipped) {
+  std::stringstream buffer(
+      "figret-graph,v1,3\n# a comment\n0,1,2.5\n\n1,2,1.0\n");
+  const Graph g = load_graph(buffer);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).capacity, 2.5);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  std::stringstream bad_header("digraph {}\n");
+  EXPECT_THROW(load_graph(bad_header), std::runtime_error);
+
+  std::stringstream out_of_range("figret-graph,v1,2\n0,5,1.0\n");
+  EXPECT_THROW(load_graph(out_of_range), std::runtime_error);
+
+  std::stringstream self_loop("figret-graph,v1,2\n0,0,1.0\n");
+  EXPECT_THROW(load_graph(self_loop), std::runtime_error);
+
+  std::stringstream bad_cap("figret-graph,v1,2\n0,1,-3\n");
+  EXPECT_THROW(load_graph(bad_cap), std::runtime_error);
+
+  std::stringstream junk("figret-graph,v1,2\n0,1,abc\n");
+  EXPECT_THROW(load_graph(junk), std::runtime_error);
+
+  std::stringstream missing_field("figret-graph,v1,2\n0,1\n");
+  EXPECT_THROW(load_graph(missing_field), std::runtime_error);
+}
+
+TEST(GraphIo, DotExportContainsEveryArc) {
+  const Graph g = full_mesh(3);
+  std::stringstream os;
+  write_dot(g, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("2 -> 1"), std::string::npos);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph_file("/nonexistent/graph.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace figret::net

@@ -1,0 +1,125 @@
+#include "te/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/lp_schemes.h"
+#include "traffic/generators.h"
+
+namespace figret::te {
+namespace {
+
+PathSet mesh_pathset(std::size_t n) {
+  const net::Graph g = net::full_mesh(n);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+}
+
+Harness make_harness(const PathSet& ps, std::size_t len = 80,
+                     std::size_t stride = 1) {
+  Harness::Options opt;
+  opt.train_fraction = 0.75;
+  opt.eval_stride = stride;
+  opt.max_window = 12;
+  return Harness(ps, traffic::dc_tor_trace(ps.num_nodes(), len, 23), opt);
+}
+
+TEST(Harness, SplitAndEvalIndices) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps, 80);
+  EXPECT_EQ(h.test_begin(), 60u);
+  EXPECT_EQ(h.eval_indices().size(), 20u);
+  EXPECT_EQ(h.eval_indices().front(), 60u);
+  EXPECT_EQ(h.train_trace().size(), 60u);
+}
+
+TEST(Harness, StrideSubsamplesConsistently) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps, 80, 4);
+  EXPECT_EQ(h.eval_indices().size(), 5u);
+  for (std::size_t i = 1; i < h.eval_indices().size(); ++i)
+    EXPECT_EQ(h.eval_indices()[i] - h.eval_indices()[i - 1], 4u);
+}
+
+TEST(Harness, RejectsShortTraces) {
+  const PathSet ps = mesh_pathset(4);
+  Harness::Options opt;
+  opt.max_window = 12;
+  EXPECT_THROW(
+      Harness(ps, traffic::dc_tor_trace(4, 10, 1), opt),
+      std::invalid_argument);
+}
+
+TEST(Harness, OmniscientIsPositiveAndCached) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  const auto& omni = h.omniscient();
+  EXPECT_EQ(omni.size(), h.eval_indices().size());
+  for (double v : omni) EXPECT_GT(v, 0.0);
+  // Second call returns the identical cached vector.
+  EXPECT_EQ(&h.omniscient(), &omni);
+}
+
+TEST(Harness, NormalizedMluNeverBelowOne) {
+  // Omniscient is optimal per snapshot, so every scheme's normalized MLU is
+  // >= 1 (up to LP tolerance) — the invariant behind Fig 5's y-axis.
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  PredictionTe pred(ps);
+  const SchemeEval ev = h.evaluate(pred);
+  EXPECT_EQ(ev.name, "PredTE");
+  ASSERT_EQ(ev.normalized.size(), h.eval_indices().size());
+  for (double v : ev.normalized) EXPECT_GE(v, 1.0 - 1e-6);
+  EXPECT_GT(ev.mean_advise_seconds, 0.0);
+}
+
+TEST(Harness, SevereCongestionCounter) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  PredictionTe pred(ps);
+  const SchemeEval ev = h.evaluate(pred);
+  std::size_t expected = 0;
+  for (double v : ev.normalized)
+    if (v > 2.0) ++expected;
+  EXPECT_EQ(ev.severe_congestion, expected);
+}
+
+TEST(Harness, EvaluateConfigFixed) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  const SchemeEval ev = h.evaluate_config("uniform", uniform_config(ps));
+  EXPECT_EQ(ev.name, "uniform");
+  for (double v : ev.normalized) EXPECT_GE(v, 1.0 - 1e-6);
+}
+
+TEST(Harness, FailureEvaluationUsesFaultAwareOracle) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  const auto failed = sample_safe_failures(ps, 1, 3);
+  PredictionTe pred(ps);
+  const SchemeEval ev = h.evaluate_under_failures(pred, failed);
+  for (double v : ev.normalized) EXPECT_GE(v, 1.0 - 1e-6);
+}
+
+TEST(Harness, StatsSummarizeNormalizedSeries) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  PredictionTe pred(ps);
+  const SchemeEval ev = h.evaluate(pred);
+  const util::BoxStats s = ev.stats();
+  EXPECT_LE(s.min, s.median);
+  EXPECT_LE(s.median, s.max);
+  EXPECT_NEAR(ev.average(), util::mean(ev.normalized), 1e-12);
+}
+
+TEST(Harness, WindowTooLargeThrows) {
+  const PathSet ps = mesh_pathset(4);
+  Harness h = make_harness(ps);
+  DesensitizationTe::Options opt;
+  opt.peak_window = 50;  // exceeds max_window = 12
+  DesensitizationTe des(ps, opt);
+  EXPECT_THROW(h.evaluate(des), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace figret::te

@@ -1,0 +1,164 @@
+#include "te/latency_loss.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "util/rng.h"
+
+namespace figret::te {
+namespace {
+
+PathSet mesh_pathset(std::size_t n) {
+  const net::Graph g = net::full_mesh(n);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+}
+
+TEST(ExpectedPathLengths, UniformMeshValue) {
+  // full_mesh(4), 3 paths per pair: 1 direct (1 hop) + 2 two-hop.
+  const PathSet ps = mesh_pathset(4);
+  const TeConfig cfg = uniform_config(ps);
+  const auto lens = expected_path_lengths(ps, cfg);
+  for (double l : lens) EXPECT_NEAR(l, (1.0 + 2.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(ExpectedPathLengths, AllDirectIsOneHop) {
+  const PathSet ps = mesh_pathset(4);
+  TeConfig cfg(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr)
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      if (ps.path_edges(p).size() == 1) cfg[p] = 1.0;
+  const auto lens = expected_path_lengths(ps, cfg);
+  for (double l : lens) EXPECT_DOUBLE_EQ(l, 1.0);
+}
+
+TEST(Stability, InvertsNormalizedVariance) {
+  const std::vector<double> var{0.0, 2.0, 4.0};
+  const auto s = stability_from_variances(var);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.5);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(Stability, AllZeroVarianceIsFullyStable) {
+  const std::vector<double> var{0.0, 0.0};
+  const auto s = stability_from_variances(var);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(LatencyLoss, DecomposesIntoComponents) {
+  const PathSet ps = mesh_pathset(4);
+  util::Rng rng(3);
+  std::vector<double> sig(ps.num_paths());
+  for (auto& s : sig) s = rng.uniform(0.1, 0.9);
+  traffic::DemandMatrix dm(4);
+  for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.1, 1.0);
+  const std::vector<double> w(ps.num_pairs(), 0.3);
+  const std::vector<double> stab(ps.num_pairs(), 0.5);
+
+  LatencyLossConfig cfg;
+  cfg.robust_weight = 0.7;
+  cfg.latency_weight = 0.2;
+  const LatencyLossValue lv =
+      latency_aware_loss(ps, dm, sig, w, stab, cfg, nullptr);
+  EXPECT_NEAR(lv.total, lv.mlu + lv.robust + lv.latency, 1e-12);
+  EXPECT_GT(lv.latency, 0.0);
+}
+
+TEST(LatencyLoss, ZeroWeightMatchesFigretLoss) {
+  const PathSet ps = mesh_pathset(4);
+  util::Rng rng(5);
+  std::vector<double> sig(ps.num_paths());
+  for (auto& s : sig) s = rng.uniform(0.1, 0.9);
+  traffic::DemandMatrix dm(4);
+  for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.1, 1.0);
+  const std::vector<double> w(ps.num_pairs(), 0.3);
+  const std::vector<double> stab(ps.num_pairs(), 1.0);
+
+  LatencyLossConfig cfg;
+  cfg.robust_weight = 0.7;
+  cfg.latency_weight = 0.0;
+  std::vector<double> grad_ext;
+  const LatencyLossValue ext =
+      latency_aware_loss(ps, dm, sig, w, stab, cfg, &grad_ext);
+  std::vector<double> grad_base;
+  const LossValue base =
+      figret_loss(ps, dm, sig, w, LossConfig{0.7}, &grad_base);
+  EXPECT_NEAR(ext.total, base.total, 1e-12);
+  for (std::size_t p = 0; p < grad_ext.size(); ++p)
+    EXPECT_NEAR(grad_ext[p], grad_base[p], 1e-12);
+}
+
+TEST(LatencyLoss, ShorterPathsLowerLatencyTerm) {
+  const PathSet ps = mesh_pathset(4);
+  traffic::DemandMatrix dm(4, 0.0);
+  const std::vector<double> w(ps.num_pairs(), 0.0);
+  const std::vector<double> stab(ps.num_pairs(), 1.0);
+  LatencyLossConfig cfg;
+  cfg.robust_weight = 0.0;
+  cfg.latency_weight = 1.0;
+
+  // Concentrate on direct paths vs uniform spread.
+  std::vector<double> direct(ps.num_paths(), 0.02);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr)
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      if (ps.path_edges(p).size() == 1) direct[p] = 0.98;
+  const std::vector<double> uniform(ps.num_paths(), 0.5);
+
+  const double l_direct =
+      latency_aware_loss(ps, dm, direct, w, stab, cfg, nullptr).latency;
+  const double l_uniform =
+      latency_aware_loss(ps, dm, uniform, w, stab, cfg, nullptr).latency;
+  EXPECT_LT(l_direct, l_uniform);
+}
+
+class LatencyLossGradient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencyLossGradient, MatchesFiniteDifferences) {
+  const PathSet ps = mesh_pathset(4);
+  util::Rng rng(GetParam());
+  std::vector<double> sig(ps.num_paths());
+  for (auto& s : sig) s = rng.uniform(0.1, 0.9);
+  traffic::DemandMatrix dm(4);
+  for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.2, 2.0);
+  std::vector<double> w(ps.num_pairs()), stab(ps.num_pairs());
+  for (auto& v : w) v = rng.uniform(0.0, 1.0);
+  for (auto& v : stab) v = rng.uniform(0.0, 1.0);
+  LatencyLossConfig cfg;
+  cfg.robust_weight = 0.6;
+  cfg.latency_weight = 0.25;
+
+  std::vector<double> grad;
+  (void)latency_aware_loss(ps, dm, sig, w, stab, cfg, &grad);
+
+  const double eps = 1e-7;
+  for (std::size_t j = 0; j < sig.size(); j += 7) {
+    const double orig = sig[j];
+    sig[j] = orig + eps;
+    const double up =
+        latency_aware_loss(ps, dm, sig, w, stab, cfg, nullptr).total;
+    sig[j] = orig - eps;
+    const double down =
+        latency_aware_loss(ps, dm, sig, w, stab, cfg, nullptr).total;
+    sig[j] = orig;
+    EXPECT_NEAR(grad[j], (up - down) / (2.0 * eps), 1e-4)
+        << "seed " << GetParam() << " path " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyLossGradient,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+TEST(LatencyLoss, InputValidation) {
+  const PathSet ps = mesh_pathset(3);
+  const std::vector<double> sig(ps.num_paths(), 0.5);
+  const traffic::DemandMatrix dm(3, 1.0);
+  const std::vector<double> w(ps.num_pairs(), 1.0);
+  const std::vector<double> bad_stab(2, 1.0);
+  EXPECT_THROW(latency_aware_loss(ps, dm, sig, w, bad_stab,
+                                  LatencyLossConfig{}, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace figret::te

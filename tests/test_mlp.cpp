@@ -1,0 +1,214 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace figret::nn {
+namespace {
+
+TEST(Sigmoid, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  // Extreme inputs must not overflow.
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Mlp, ShapesAndParameterCount) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {4, 8, 3};
+  const Mlp m(cfg);
+  EXPECT_EQ(m.input_size(), 4u);
+  EXPECT_EQ(m.output_size(), 3u);
+  EXPECT_EQ(m.num_layers(), 2u);
+  EXPECT_EQ(m.num_parameters(), 4u * 8u + 8u + 8u * 3u + 3u);
+}
+
+TEST(Mlp, RejectsDegenerateConfigs) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {4};
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+  cfg.layer_sizes = {4, 0, 2};
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+}
+
+TEST(Mlp, SigmoidOutputInUnitInterval) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {5, 16, 7};
+  cfg.seed = 3;
+  const Mlp m(cfg);
+  MlpWorkspace ws;
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(5);
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    const auto y = m.forward(x, ws);
+    for (double v : y) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Mlp, ForwardDeterministic) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {3, 8, 2};
+  const Mlp m(cfg);
+  MlpWorkspace ws1, ws2;
+  const std::vector<double> x{0.1, -0.5, 0.7};
+  const auto y1 = m.forward(x, ws1);
+  const auto y2 = m.forward(x, ws2);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Mlp, InputSizeMismatchThrows) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {3, 4, 2};
+  const Mlp m(cfg);
+  MlpWorkspace ws;
+  const std::vector<double> bad(5, 0.0);
+  EXPECT_THROW(m.forward(bad, ws), std::invalid_argument);
+}
+
+TEST(Mlp, SeedsChangeInitialization) {
+  MlpConfig a, b;
+  a.layer_sizes = b.layer_sizes = {3, 8, 2};
+  a.seed = 1;
+  b.seed = 2;
+  const Mlp ma(a), mb(b);
+  MlpWorkspace ws;
+  const std::vector<double> x{0.3, 0.3, 0.3};
+  const auto ya = ma.forward(x, ws);
+  std::vector<double> ya_copy(ya.begin(), ya.end());
+  const auto yb = mb.forward(x, ws);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < yb.size(); ++i)
+    any_diff |= std::abs(ya_copy[i] - yb[i]) > 1e-12;
+  EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------------------
+// The critical property: analytic gradients match finite differences for
+// every parameter, across depths and output activations.
+// ---------------------------------------------------------------------------
+
+struct GradCase {
+  std::vector<std::size_t> layers;
+  OutputActivation act;
+  const char* tag;
+};
+
+class MlpGradient : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(MlpGradient, MatchesFiniteDifferences) {
+  const GradCase& gc = GetParam();
+  MlpConfig cfg;
+  cfg.layer_sizes = gc.layers;
+  cfg.output = gc.act;
+  cfg.seed = 11;
+  Mlp m(cfg);
+
+  util::Rng rng(5);
+  std::vector<double> x(m.input_size());
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  // Random linear functional of the outputs as the "loss": L = w . y.
+  std::vector<double> w(m.output_size());
+  for (auto& v : w) v = rng.uniform(-1.0, 1.0);
+
+  MlpWorkspace ws;
+  auto loss = [&] {
+    const auto y = m.forward(x, ws);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += w[i] * y[i];
+    return acc;
+  };
+
+  (void)loss();  // populate workspace
+  MlpGradients grads = m.make_gradients();
+  m.backward(x, ws, w, grads);
+
+  const double eps = 1e-6;
+  // Spot-check a deterministic sample of weights in every layer.
+  for (std::size_t l = 0; l < m.num_layers(); ++l) {
+    auto& wm = m.weights()[l];
+    const std::size_t checks = std::min<std::size_t>(10, wm.size());
+    for (std::size_t k = 0; k < checks; ++k) {
+      const std::size_t idx = (k * 7919) % wm.size();
+      const std::size_t r = idx / wm.cols();
+      const std::size_t c = idx % wm.cols();
+      const double orig = wm(r, c);
+      wm(r, c) = orig + eps;
+      const double up = loss();
+      wm(r, c) = orig - eps;
+      const double down = loss();
+      wm(r, c) = orig;
+      const double fd = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads.weight[l](r, c), fd, 1e-4)
+          << gc.tag << " layer " << l << " w(" << r << "," << c << ")";
+    }
+    // And biases.
+    auto& bias = m.biases()[l];
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, bias.size()); ++i) {
+      const double orig = bias[i];
+      bias[i] = orig + eps;
+      const double up = loss();
+      bias[i] = orig - eps;
+      const double down = loss();
+      bias[i] = orig;
+      EXPECT_NEAR(grads.bias[l][i], (up - down) / (2.0 * eps), 1e-4)
+          << gc.tag << " layer " << l << " b(" << i << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, MlpGradient,
+    ::testing::Values(
+        GradCase{{3, 5, 2}, OutputActivation::kSigmoid, "small_sigmoid"},
+        GradCase{{3, 5, 2}, OutputActivation::kIdentity, "small_identity"},
+        GradCase{{6, 16, 16, 4}, OutputActivation::kSigmoid, "deep_sigmoid"},
+        GradCase{{4, 8, 8, 8, 3}, OutputActivation::kSigmoid, "deeper"},
+        GradCase{{2, 128, 3}, OutputActivation::kSigmoid, "wide"}),
+    [](const auto& info) { return info.param.tag; });
+
+TEST(MlpGradients, ZeroClearsEverything) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {2, 4, 2};
+  Mlp m(cfg);
+  MlpGradients g = m.make_gradients();
+  MlpWorkspace ws;
+  const std::vector<double> x{0.5, -0.5};
+  (void)m.forward(x, ws);
+  const std::vector<double> dl{1.0, 1.0};
+  m.backward(x, ws, dl, g);
+  g.zero();
+  for (const auto& wm : g.weight)
+    for (double v : wm.flat()) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (const auto& b : g.bias)
+    for (double v : b) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Mlp, BackwardAccumulates) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {2, 4, 2};
+  Mlp m(cfg);
+  MlpWorkspace ws;
+  const std::vector<double> x{0.5, -0.25};
+  (void)m.forward(x, ws);
+  const std::vector<double> dl{1.0, -1.0};
+  MlpGradients once = m.make_gradients();
+  m.backward(x, ws, dl, once);
+  MlpGradients twice = m.make_gradients();
+  m.backward(x, ws, dl, twice);
+  m.backward(x, ws, dl, twice);
+  for (std::size_t l = 0; l < m.num_layers(); ++l)
+    for (std::size_t i = 0; i < once.weight[l].size(); ++i)
+      EXPECT_NEAR(twice.weight[l].flat()[i], 2.0 * once.weight[l].flat()[i],
+                  1e-12);
+}
+
+}  // namespace
+}  // namespace figret::nn

@@ -1,0 +1,173 @@
+#include "te/oblivious.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/hose.h"
+#include "te/mlu.h"
+#include "util/rng.h"
+
+namespace figret::te {
+namespace {
+
+PathSet triangle_pathset() {
+  net::Graph g(3);
+  g.add_link(0, 1, 2.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(0, 2, 2.0);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 2));
+}
+
+PathSet mesh_pathset(std::size_t n) {
+  const net::Graph g = net::full_mesh(n);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+}
+
+TEST(Hose, BoundsReflectAttachedCapacity) {
+  const PathSet ps = triangle_pathset();
+  const HoseBounds h = hose_bounds(ps, 1.0);
+  ASSERT_EQ(h.out.size(), 3u);
+  // Each triangle node has two outgoing capacity-2 arcs.
+  for (double v : h.out) EXPECT_NEAR(v, 4.0, 1e-9);
+  for (double v : h.in) EXPECT_NEAR(v, 4.0, 1e-9);
+}
+
+TEST(Hose, ScaleMultipliesBounds) {
+  const PathSet ps = triangle_pathset();
+  const HoseBounds h1 = hose_bounds(ps, 1.0);
+  const HoseBounds h2 = hose_bounds(ps, 0.5);
+  for (std::size_t v = 0; v < h1.out.size(); ++v)
+    EXPECT_NEAR(h2.out[v], 0.5 * h1.out[v], 1e-12);
+}
+
+TEST(Hose, AdversaryDemandIsHoseFeasible) {
+  const PathSet ps = mesh_pathset(4);
+  const HoseBounds h = hose_bounds(ps, 1.0);
+  const TeConfig cfg = uniform_config(ps);
+  const auto [util, dm] = worst_demand_for_edge(ps, cfg, h, 0);
+  EXPECT_GT(util, 0.0);
+  const std::size_t n = ps.num_nodes();
+  for (std::size_t s = 0; s < n; ++s) {
+    double row = 0.0;
+    for (std::size_t d = 0; d < n; ++d)
+      if (s != d) row += dm.at(s, d);
+    EXPECT_LE(row, h.out[s] + 1e-6);
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    double col = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+      if (s != d) col += dm.at(s, d);
+    EXPECT_LE(col, h.in[d] + 1e-6);
+  }
+}
+
+TEST(Hose, AdversaryMaximizesTheTargetEdge) {
+  // The adversary's utilization must dominate random hose-feasible demands.
+  const PathSet ps = mesh_pathset(4);
+  const HoseBounds h = hose_bounds(ps, 1.0);
+  const TeConfig cfg = uniform_config(ps);
+  const net::EdgeId e = 3;
+  const auto [best_util, _] = worst_demand_for_edge(ps, cfg, h, e);
+
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    traffic::DemandMatrix dm(4);
+    for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.0, 1.0);
+    // Scale into the hose polytope.
+    double worst_ratio = 0.0;
+    for (std::size_t s = 0; s < 4; ++s) {
+      double row = 0.0, col = 0.0;
+      for (std::size_t d2 = 0; d2 < 4; ++d2) {
+        if (s == d2) continue;
+        row += dm.at(s, d2);
+        col += dm.at(d2, s);
+      }
+      worst_ratio = std::max({worst_ratio, row / h.out[s], col / h.in[s]});
+    }
+    if (worst_ratio > 0.0)
+      for (auto& v : dm.values()) v /= worst_ratio;
+    const auto load = edge_loads(ps, dm, cfg);
+    EXPECT_LE(load[e] / ps.edge_capacity(e), best_util + 1e-6);
+  }
+}
+
+TEST(Oblivious, ConvergesOnTriangle) {
+  const PathSet ps = triangle_pathset();
+  ObliviousOptions opt;
+  opt.max_rounds = 50;
+  const ObliviousResult r = solve_oblivious(ps, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(valid_config(ps, r.config));
+  EXPECT_GT(r.worst_mlu, 0.0);
+}
+
+TEST(Oblivious, OptimalBeatsArbitraryConfigsInWorstCase) {
+  const PathSet ps = triangle_pathset();
+  ObliviousOptions opt;
+  opt.max_rounds = 50;
+  const ObliviousResult r = solve_oblivious(ps, opt);
+  ASSERT_TRUE(r.converged);
+  // The oblivious config's worst case must not exceed that of the uniform
+  // or the all-direct configuration (it minimizes the worst case).
+  const double uniform_worst = worst_case_mlu_hose(ps, uniform_config(ps));
+  EXPECT_LE(r.worst_mlu, uniform_worst + 1e-4);
+
+  TeConfig direct(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      if (ps.path_edges(p).size() == 1) direct[p] = 1.0;
+  }
+  direct = normalize_config(ps, direct);
+  EXPECT_LE(r.worst_mlu, worst_case_mlu_hose(ps, direct) + 1e-4);
+}
+
+TEST(Oblivious, WorstCaseConsistentWithExactOracle) {
+  const PathSet ps = mesh_pathset(4);
+  ObliviousOptions opt;
+  opt.max_rounds = 30;
+  const ObliviousResult r = solve_oblivious(ps, opt);
+  const double exact = worst_case_mlu_hose(ps, r.config);
+  EXPECT_NEAR(r.worst_mlu, exact, 1e-4);
+}
+
+TEST(Oblivious, TimeBudgetShortCircuits) {
+  const PathSet ps = mesh_pathset(4);
+  ObliviousOptions opt;
+  opt.time_budget_seconds = 0.0;  // immediately out of budget
+  const ObliviousResult r = solve_oblivious(ps, opt);
+  EXPECT_FALSE(r.converged);
+  // The fallback config must still be usable.
+  EXPECT_TRUE(valid_config(ps, r.config));
+}
+
+TEST(Oblivious, TruncatedScanNeverCertifiesConvergence) {
+  // With a budget that expires mid-adversary-scan, the solver must report
+  // non-convergence rather than certify a false optimum from a partial scan
+  // (regression test for the budget/convergence interaction).
+  const PathSet ps = mesh_pathset(5);
+  ObliviousOptions opt;
+  opt.time_budget_seconds = 1e-4;  // expires almost immediately
+  opt.max_rounds = 50;
+  const ObliviousResult r = solve_oblivious(ps, opt);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(ObliviousTe, SchemeAdapterLifecycle) {
+  const PathSet ps = triangle_pathset();
+  ObliviousTe scheme(ps);
+  EXPECT_EQ(scheme.name(), "Oblivious");
+  traffic::TrafficTrace dummy;
+  dummy.num_nodes = 3;
+  dummy.snapshots.emplace_back(3, 1.0);
+  scheme.fit(dummy);
+  const TeConfig cfg = scheme.advise({});
+  EXPECT_TRUE(valid_config(ps, cfg));
+  // Oblivious routing ignores history: same config for any input.
+  std::vector<traffic::DemandMatrix> h(1, traffic::DemandMatrix(3, 9.0));
+  const TeConfig cfg2 = scheme.advise(h);
+  for (std::size_t p = 0; p < cfg.size(); ++p) EXPECT_DOUBLE_EQ(cfg[p], cfg2[p]);
+}
+
+}  // namespace
+}  // namespace figret::te

@@ -1,0 +1,127 @@
+#include "te/pathset.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+
+namespace figret::te {
+namespace {
+
+PathSet mesh_pathset(std::size_t n, std::size_t k = 3) {
+  const net::Graph g = net::full_mesh(n);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, k));
+}
+
+TEST(PathSet, BuildCountsMatchTopology) {
+  const PathSet ps = mesh_pathset(4);
+  EXPECT_EQ(ps.num_nodes(), 4u);
+  EXPECT_EQ(ps.num_edges(), 12u);
+  EXPECT_EQ(ps.num_pairs(), 12u);
+  EXPECT_EQ(ps.num_paths(), 12u * 3u);
+}
+
+TEST(PathSet, PairRangesPartitionPaths) {
+  const PathSet ps = mesh_pathset(5);
+  std::size_t total = 0;
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    EXPECT_LT(ps.pair_begin(pr), ps.pair_end(pr));
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      EXPECT_EQ(ps.pair_of_path(p), pr);
+    total += ps.pair_size(pr);
+  }
+  EXPECT_EQ(total, ps.num_paths());
+}
+
+TEST(PathSet, PathCapacityIsBottleneck) {
+  net::Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 7.0);
+  g.add_edge(1, 0, 5.0);
+  g.add_edge(2, 1, 2.0);
+  g.add_edge(2, 0, 7.0);
+  const PathSet ps = PathSet::build(g, net::all_pairs_k_shortest(g, 2));
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid) {
+    double expect = 1e300;
+    for (net::EdgeId e : ps.path_edges(pid))
+      expect = std::min(expect, ps.edge_capacity(e));
+    EXPECT_DOUBLE_EQ(ps.path_capacity(pid), expect);
+  }
+}
+
+TEST(PathSet, ReverseIncidenceConsistent) {
+  const PathSet ps = mesh_pathset(4);
+  // paths_on_edge must be the exact inverse of path_edges.
+  std::size_t forward_count = 0;
+  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
+    forward_count += ps.path_edges(pid).size();
+  std::size_t reverse_count = 0;
+  for (net::EdgeId e = 0; e < ps.num_edges(); ++e) {
+    for (std::uint32_t pid : ps.paths_on_edge(e)) {
+      bool found = false;
+      for (net::EdgeId pe : ps.path_edges(pid)) found |= pe == e;
+      EXPECT_TRUE(found);
+    }
+    reverse_count += ps.paths_on_edge(e).size();
+  }
+  EXPECT_EQ(forward_count, reverse_count);
+}
+
+TEST(PathSet, RejectsMissingPaths) {
+  const net::Graph g = net::full_mesh(3);
+  auto per_pair = net::all_pairs_k_shortest(g, 2);
+  per_pair[0 * 3 + 1].clear();  // pair (0,1) left with no path
+  EXPECT_THROW(PathSet::build(g, per_pair), std::invalid_argument);
+}
+
+TEST(PathSet, RejectsInvalidPath) {
+  const net::Graph g = net::full_mesh(3);
+  auto per_pair = net::all_pairs_k_shortest(g, 2);
+  per_pair[0 * 3 + 1][0].nodes.back() = 2;  // endpoint no longer matches
+  EXPECT_THROW(PathSet::build(g, per_pair), std::invalid_argument);
+}
+
+TEST(Config, UniformIsValid) {
+  const PathSet ps = mesh_pathset(4);
+  const TeConfig cfg = uniform_config(ps);
+  EXPECT_TRUE(valid_config(ps, cfg));
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr)
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      EXPECT_NEAR(cfg[p], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Config, ValidityChecks) {
+  const PathSet ps = mesh_pathset(3);
+  TeConfig cfg = uniform_config(ps);
+  EXPECT_TRUE(valid_config(ps, cfg));
+  cfg[0] += 0.5;  // breaks the sum for its pair
+  EXPECT_FALSE(valid_config(ps, cfg));
+  cfg = uniform_config(ps);
+  cfg[1] = -0.1;
+  EXPECT_FALSE(valid_config(ps, cfg));
+  cfg.pop_back();
+  EXPECT_FALSE(valid_config(ps, cfg));
+}
+
+TEST(Config, NormalizeClampsAndScales) {
+  const PathSet ps = mesh_pathset(4);  // 3 candidate paths per pair
+  TeConfig raw(ps.num_paths(), 0.0);
+  raw[ps.pair_begin(0)] = 3.0;
+  raw[ps.pair_begin(0) + 1] = -5.0;  // negative is clamped to 0
+  raw[ps.pair_begin(0) + 2] = 1.0;
+  const TeConfig cfg = normalize_config(ps, raw);
+  EXPECT_TRUE(valid_config(ps, cfg));
+  EXPECT_NEAR(cfg[ps.pair_begin(0)], 0.75, 1e-12);
+  EXPECT_NEAR(cfg[ps.pair_begin(0) + 1], 0.0, 1e-12);
+  EXPECT_NEAR(cfg[ps.pair_begin(0) + 2], 0.25, 1e-12);
+}
+
+TEST(Config, NormalizeUniformFallbackForZeroGroup) {
+  const PathSet ps = mesh_pathset(3);
+  const TeConfig cfg = normalize_config(ps, TeConfig(ps.num_paths(), 0.0));
+  EXPECT_TRUE(valid_config(ps, cfg));
+}
+
+}  // namespace
+}  // namespace figret::te

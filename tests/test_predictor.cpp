@@ -1,0 +1,120 @@
+#include "traffic/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/generators.h"
+
+namespace figret::traffic {
+namespace {
+
+std::vector<DemandMatrix> ramp_history(std::size_t n, std::size_t len) {
+  // Pair values ramp linearly: snapshot t has value t+1 everywhere.
+  std::vector<DemandMatrix> h;
+  for (std::size_t t = 0; t < len; ++t)
+    h.emplace_back(n, static_cast<double>(t + 1));
+  return h;
+}
+
+TEST(LastValue, ReturnsMostRecent) {
+  LastValuePredictor p;
+  const auto h = ramp_history(3, 5);
+  const DemandMatrix out = p.predict(h);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], 5.0);
+}
+
+TEST(MovingAverage, AveragesWindow) {
+  MovingAveragePredictor p;
+  const auto h = ramp_history(3, 4);  // values 1,2,3,4 -> mean 2.5
+  const DemandMatrix out = p.predict(h);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], 2.5);
+}
+
+TEST(Ewma, AlphaOneIsLastValue) {
+  EwmaPredictor p(1.0);
+  const auto h = ramp_history(3, 6);
+  const DemandMatrix out = p.predict(h);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], 6.0);
+}
+
+TEST(Ewma, SmoothsTowardRecent) {
+  EwmaPredictor p(0.5);
+  const auto h = ramp_history(3, 3);  // 1, 2, 3
+  // state: 1 -> 0.5*2+0.5*1 = 1.5 -> 0.5*3+0.5*1.5 = 2.25
+  const DemandMatrix out = p.predict(h);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], 2.25);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaPredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(1.5), std::invalid_argument);
+}
+
+TEST(LinearTrend, ExtrapolatesRamp) {
+  LinearTrendPredictor p;
+  const auto h = ramp_history(3, 5);  // 1..5, slope 1 -> predict 6
+  const DemandMatrix out = p.predict(h);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], 6.0, 1e-9);
+}
+
+TEST(LinearTrend, ClampsNegativeExtrapolation) {
+  LinearTrendPredictor p;
+  std::vector<DemandMatrix> h;
+  for (double v : {3.0, 2.0, 1.0}) h.emplace_back(3, v);
+  const DemandMatrix out = p.predict(h);  // slope -1 from 1 -> would be 0
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_GE(out[i], 0.0);
+}
+
+TEST(LinearTrend, SingleSnapshotFallsBack) {
+  LinearTrendPredictor p;
+  const auto h = ramp_history(3, 1);
+  const DemandMatrix out = p.predict(h);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], 1.0);
+}
+
+TEST(Peak, TakesElementwiseMax) {
+  PeakPredictor p;
+  std::vector<DemandMatrix> h(2, DemandMatrix(3, 1.0));
+  h[0].set(0, 1, 7.0);
+  h[1].set(1, 2, 5.0);
+  const DemandMatrix out = p.predict(h);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 1.0);
+}
+
+TEST(Predictors, EmptyHistoryThrows) {
+  LastValuePredictor last;
+  MovingAveragePredictor avg;
+  LinearTrendPredictor trend;
+  PeakPredictor peak;
+  EXPECT_THROW(last.predict({}), std::invalid_argument);
+  EXPECT_THROW(avg.predict({}), std::invalid_argument);
+  EXPECT_THROW(trend.predict({}), std::invalid_argument);
+  EXPECT_THROW(peak.predict({}), std::invalid_argument);
+}
+
+TEST(Mse, KnownValueAndMismatch) {
+  DemandMatrix a(3, 1.0), b(3, 3.0);
+  EXPECT_DOUBLE_EQ(mse(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  DemandMatrix c(4, 1.0);
+  EXPECT_THROW(mse(a, c), std::invalid_argument);
+}
+
+TEST(Predictors, EwmaBeatsLastValueOnNoisyStationaryTraffic) {
+  // On stationary-noise traffic, smoothing should reduce prediction error —
+  // the classical motivation for EWMA over persistence.
+  const TrafficTrace trace = gravity_trace(6, 200, 5);
+  EwmaPredictor ewma(0.3);
+  LastValuePredictor last;
+  double err_ewma = 0.0, err_last = 0.0;
+  for (std::size_t t = 12; t < trace.size(); ++t) {
+    const std::span<const DemandMatrix> h{trace.snapshots.data() + t - 12, 12};
+    err_ewma += mse(ewma.predict(h), trace[t]);
+    err_last += mse(last.predict(h), trace[t]);
+  }
+  EXPECT_LT(err_ewma, err_last);
+}
+
+}  // namespace
+}  // namespace figret::traffic

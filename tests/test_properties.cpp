@@ -1,0 +1,176 @@
+// Cross-module property sweeps: randomized invariants that tie the TE core
+// together across topologies, traffic generators and schemes. Each property
+// runs over a parameterized grid of (topology, seed).
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/failover.h"
+#include "te/loss.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "te/wcmp.h"
+#include "traffic/generators.h"
+#include "util/rng.h"
+
+namespace figret::te {
+namespace {
+
+struct Instance {
+  std::string topo;
+  std::uint64_t seed;
+};
+
+net::Graph make_graph(const std::string& topo) {
+  if (topo == "mesh5") return net::full_mesh(5);
+  if (topo == "geant") return net::geant();
+  if (topo == "tor12") return net::random_regular(12, 4, 3);
+  if (topo == "wan20") return net::sparse_wan(20, 26, 5);
+  throw std::invalid_argument("unknown topo");
+}
+
+class TeProperties : public ::testing::TestWithParam<Instance> {
+ protected:
+  void SetUp() override {
+    graph_ = make_graph(GetParam().topo);
+    ps_ = PathSet::build(graph_, net::all_pairs_k_shortest(graph_, 3));
+    rng_ = util::Rng(GetParam().seed);
+  }
+
+  TeConfig random_config() {
+    TeConfig raw(ps_.num_paths());
+    for (auto& v : raw) v = rng_.uniform(0.0, 1.0);
+    return normalize_config(ps_, raw);
+  }
+
+  traffic::DemandMatrix random_demand() {
+    traffic::DemandMatrix dm(ps_.num_nodes());
+    for (std::size_t p = 0; p < dm.size(); ++p)
+      dm[p] = rng_.uniform(0.0, 1.0);
+    return dm;
+  }
+
+  net::Graph graph_;
+  PathSet ps_;
+  util::Rng rng_{0};
+};
+
+TEST_P(TeProperties, NormalizeIsIdempotent) {
+  const TeConfig cfg = random_config();
+  const TeConfig again = normalize_config(ps_, cfg);
+  for (std::size_t p = 0; p < cfg.size(); ++p)
+    EXPECT_NEAR(again[p], cfg[p], 1e-12);
+}
+
+TEST_P(TeProperties, MluSubadditiveInDemands) {
+  // MLU(R, D1 + D2) <= MLU(R, D1) + MLU(R, D2) (loads are linear, max is
+  // subadditive).
+  const TeConfig cfg = random_config();
+  const auto d1 = random_demand();
+  const auto d2 = random_demand();
+  traffic::DemandMatrix sum(ps_.num_nodes());
+  for (std::size_t p = 0; p < sum.size(); ++p) sum[p] = d1[p] + d2[p];
+  EXPECT_LE(mlu(ps_, sum, cfg),
+            mlu(ps_, d1, cfg) + mlu(ps_, d2, cfg) + 1e-9);
+}
+
+TEST_P(TeProperties, MluConvexInConfig) {
+  // For fixed demand, edge loads are linear in R, so MLU (max of linear
+  // functions) is convex: MLU(mid) <= (MLU(a) + MLU(b)) / 2.
+  const TeConfig a = random_config();
+  const TeConfig b = random_config();
+  const auto dm = random_demand();
+  TeConfig mid(a.size());
+  for (std::size_t p = 0; p < a.size(); ++p) mid[p] = 0.5 * (a[p] + b[p]);
+  EXPECT_LE(mlu(ps_, dm, mid),
+            0.5 * mlu(ps_, dm, a) + 0.5 * mlu(ps_, dm, b) + 1e-9);
+}
+
+TEST_P(TeProperties, LpOptimumBelowHeuristicConfigs) {
+  const auto dm = random_demand();
+  const MluLpResult lp = solve_mlu_lp(ps_, dm);
+  ASSERT_TRUE(lp.optimal);
+  for (int trial = 0; trial < 5; ++trial)
+    EXPECT_GE(mlu(ps_, dm, random_config()) + 1e-9, lp.mlu);
+  EXPECT_GE(mlu(ps_, dm, uniform_config(ps_)) + 1e-9, lp.mlu);
+}
+
+TEST_P(TeProperties, LpConfigAchievesItsObjective) {
+  const auto dm = random_demand();
+  const MluLpResult lp = solve_mlu_lp(ps_, dm);
+  ASSERT_TRUE(lp.optimal);
+  const TeConfig cfg = normalize_config(ps_, lp.config);
+  EXPECT_NEAR(mlu(ps_, dm, cfg), lp.mlu, 1e-6 + 1e-6 * lp.mlu);
+}
+
+TEST_P(TeProperties, RerouteThenRerouteIsStable) {
+  // Applying the same failure mask twice must be a no-op the second time.
+  const TeConfig cfg = random_config();
+  const auto failed = sample_safe_failures(ps_, 1, GetParam().seed);
+  const auto alive = surviving_paths(ps_, failed);
+  const TeConfig once = reroute(ps_, cfg, alive);
+  const TeConfig twice = reroute(ps_, once, alive);
+  for (std::size_t p = 0; p < once.size(); ++p)
+    EXPECT_NEAR(twice[p], once[p], 1e-12);
+}
+
+TEST_P(TeProperties, FailoverNeverDecreasesOptimalMlu) {
+  // Removing paths can only restrict the LP: the fault-aware optimum is at
+  // least the unrestricted optimum.
+  const auto dm = random_demand();
+  const auto failed = sample_safe_failures(ps_, 1, GetParam().seed + 17);
+  const auto alive = surviving_paths(ps_, failed);
+  const MluLpResult full = solve_mlu_lp(ps_, dm);
+  const MluLpResult restricted = solve_mlu_lp(ps_, dm, nullptr, &alive);
+  ASSERT_TRUE(full.optimal);
+  ASSERT_TRUE(restricted.optimal);
+  EXPECT_GE(restricted.mlu + 1e-9, full.mlu);
+}
+
+TEST_P(TeProperties, LossGradientDescentDirectionDecreasesLoss) {
+  // A small step against the sub-gradient must not increase the loss
+  // (first-order property, checked away from the boundary).
+  const auto dm = random_demand();
+  std::vector<double> sig(ps_.num_paths());
+  for (auto& s : sig) s = rng_.uniform(0.2, 0.8);
+  std::vector<double> weights(ps_.num_pairs());
+  for (auto& w : weights) w = rng_.uniform(0.0, 0.5);
+  const LossConfig cfg{1.0};
+  std::vector<double> grad;
+  const double before = figret_loss(ps_, dm, sig, weights, cfg, &grad).total;
+  const double step = 1e-5;
+  for (std::size_t p = 0; p < sig.size(); ++p) sig[p] -= step * grad[p];
+  const double after = figret_loss(ps_, dm, sig, weights, cfg, nullptr).total;
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST_P(TeProperties, WcmpPreservesZeroAndDominance) {
+  const TeConfig cfg = random_config();
+  const WcmpWeights w = quantize_wcmp(ps_, cfg, 64);
+  const TeConfig realized = ratios_from_wcmp(ps_, w);
+  EXPECT_TRUE(valid_config(ps_, realized));
+  for (std::size_t pr = 0; pr < ps_.num_pairs(); ++pr) {
+    // The heaviest ideal path in each pair keeps a positive weight.
+    std::size_t best = ps_.pair_begin(pr);
+    for (std::size_t p = ps_.pair_begin(pr); p < ps_.pair_end(pr); ++p)
+      if (cfg[p] > cfg[best]) best = p;
+    EXPECT_GT(w[best], 0u);
+  }
+}
+
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  for (const char* topo : {"mesh5", "geant", "tor12", "wan20"})
+    for (std::uint64_t seed : {1u, 2u})
+      out.push_back({topo, seed});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TeProperties, ::testing::ValuesIn(instances()),
+                         [](const auto& info) {
+                           return info.param.topo + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace figret::te

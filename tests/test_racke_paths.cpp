@@ -1,0 +1,81 @@
+#include "net/racke_paths.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.h"
+
+namespace figret::net {
+namespace {
+
+TEST(RackePaths, EveryPairGetsRequestedCount) {
+  const Graph g = full_mesh(5);
+  RackePathOptions opt;
+  opt.paths_per_pair = 3;
+  const auto all = racke_style_paths(g, opt);
+  for (NodeId s = 0; s < 5; ++s)
+    for (NodeId d = 0; d < 5; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(all[s * 5 + d].size(), 3u) << s << "->" << d;
+    }
+}
+
+TEST(RackePaths, PathsAreValidAndDistinct) {
+  const Graph g = geant();
+  RackePathOptions opt;
+  opt.paths_per_pair = 3;
+  const auto all = racke_style_paths(g, opt);
+  for (NodeId s = 0; s < g.num_nodes(); ++s)
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      std::set<std::vector<NodeId>> seen;
+      for (const Path& p : all[s * g.num_nodes() + d]) {
+        EXPECT_TRUE(valid_path(g, p, s, d));
+        EXPECT_TRUE(seen.insert(p.nodes).second);
+      }
+      EXPECT_GE(seen.size(), 1u);
+    }
+}
+
+TEST(RackePaths, DiversityExceedsSingleShortestPath) {
+  // On a mesh the penalized rounds must discover non-shortest alternatives:
+  // at least one pair receives a path longer than the 1-hop direct edge.
+  const Graph g = full_mesh(4);
+  const auto all = racke_style_paths(g, {});
+  bool any_multi_hop = false;
+  for (const auto& bucket : all)
+    for (const Path& p : bucket) any_multi_hop |= p.hops() > 1;
+  EXPECT_TRUE(any_multi_hop);
+}
+
+TEST(RackePaths, CapacityAwareBaseCost) {
+  // 0-1 has a thin direct link; a fat two-hop route exists via 2. The first
+  // (unloaded) round must prefer the fat route for 0->1.
+  Graph g(3);
+  g.add_link(0, 1, 0.05);
+  g.add_link(0, 2, 10.0);
+  g.add_link(2, 1, 10.0);
+  RackePathOptions opt;
+  opt.paths_per_pair = 1;
+  opt.rounds = 1;
+  const auto all = racke_style_paths(g, opt);
+  const auto& p01 = all[0 * 3 + 1];
+  ASSERT_EQ(p01.size(), 1u);
+  EXPECT_EQ(p01[0].nodes, (std::vector<NodeId>{0, 2, 1}));
+}
+
+TEST(RackePaths, DeterministicAcrossCalls) {
+  const Graph g = geant();
+  const auto a = racke_style_paths(g, {});
+  const auto b = racke_style_paths(g, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j)
+      EXPECT_EQ(a[i][j].nodes, b[i][j].nodes);
+  }
+}
+
+}  // namespace
+}  // namespace figret::net

@@ -1,0 +1,144 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace figret::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  // SplitMix expansion must avoid the all-zero degenerate state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) any_nonzero |= r.next_u64() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = r.uniform();
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng r(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[r.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(13);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = r.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParamsMatches) {
+  Rng r(13);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = r.normal(10.0, 2.0);
+  EXPECT_NEAR(mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng r(17);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = r.exponential(4.0);
+  EXPECT_NEAR(mean(xs), 0.25, 0.01);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ParetoRespectsScaleAndIsHeavyTailed) {
+  Rng r(19);
+  double max_seen = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = r.pareto(2.0, 1.5);
+    EXPECT_GE(x, 2.0);
+    max_seen = std::max(max_seen, x);
+  }
+  // A heavy tail must produce extreme values well above the scale.
+  EXPECT_GT(max_seen, 50.0);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng r(29);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(31);
+  const auto p = r.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng r(37);
+  EXPECT_TRUE(r.permutation(0).empty());
+  const auto p1 = r.permutation(1);
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p1[0], 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(41);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace figret::util

@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace figret::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, VarianceOfKnownValues) {
+  // Population variance of {1,2,3,4} = 1.25.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs{3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 90.0), 42.0);
+}
+
+TEST(Stats, PercentileClampedOutsideRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 110.0), 2.0);
+}
+
+TEST(Stats, CosineSimilarityIdenticalIsOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(Stats, CosineSimilarityScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, CosineSimilarityOrthogonalIsZero) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Stats, CosineSimilarityZeroVectorIsZero) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Stats, RanksHandleTies) {
+  const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanPerfectMonotone) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{10.0, 100.0, 1000.0, 10000.0};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanPerfectInverse) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonLinearRelationship) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonNoVarianceIsZero) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, BoxStatsOrdering) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  const BoxStats s = box_stats(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.p90, 91.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.max);
+}
+
+}  // namespace
+}  // namespace figret::util

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace figret::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRowsAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumericRowFormatsPrecision) {
+  Table t({"label", "x"});
+  t.add_row_numeric("row", {1.23456789}, 3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.235"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripQuoting) {
+  Table t({"label", "text"});
+  t.add_row({"x", "has,comma"});
+  t.add_row({"y", "has\"quote"});
+  const std::string path = "/tmp/figret_test_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "label,text");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "y,\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.0, 2), "1.00");
+  EXPECT_EQ(fmt(0.12345, 4), "0.1235");
+  EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace figret::util

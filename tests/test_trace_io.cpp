@@ -1,0 +1,78 @@
+#include "traffic/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "traffic/generators.h"
+
+namespace figret::traffic {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEveryEntry) {
+  const TrafficTrace original = dc_tor_trace(5, 30, 7);
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const TrafficTrace loaded = load_trace(buffer);
+  ASSERT_EQ(loaded.num_nodes, original.num_nodes);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t t = 0; t < original.size(); ++t)
+    for (std::size_t p = 0; p < original[t].size(); ++p)
+      EXPECT_DOUBLE_EQ(loaded[t][p], original[t][p]);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const TrafficTrace original = gravity_trace(4, 10, 3);
+  const std::string path = "/tmp/figret_test_trace.csv";
+  save_trace_file(original, path);
+  const TrafficTrace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  TrafficTrace t;
+  t.num_nodes = 3;
+  std::stringstream buffer;
+  save_trace(t, buffer);
+  const TrafficTrace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.num_nodes, 3u);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream buffer("not-a-trace,v9,4\n1,2\n");
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(load_trace(empty), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsRaggedRows) {
+  // 3 nodes => 6 columns; give 5.
+  std::stringstream buffer("figret-trace,v1,3\n1,2,3,4,5\n");
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+  std::stringstream too_many("figret-trace,v1,3\n1,2,3,4,5,6,7\n");
+  EXPECT_THROW(load_trace(too_many), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonNumericAndNegative) {
+  std::stringstream bad("figret-trace,v1,3\n1,2,x,4,5,6\n");
+  EXPECT_THROW(load_trace(bad), std::runtime_error);
+  std::stringstream neg("figret-trace,v1,3\n1,2,-3,4,5,6\n");
+  EXPECT_THROW(load_trace(neg), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buffer("figret-trace,v1,3\n1,2,3,4,5,6\n\n6,5,4,3,2,1\n");
+  const TrafficTrace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1][0], 6.0);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace figret::traffic

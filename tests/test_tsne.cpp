@@ -1,0 +1,94 @@
+#include "util/tsne.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace figret::util {
+namespace {
+
+TEST(Tsne, OutputShape) {
+  Rng rng(1);
+  const std::size_t n = 20, dim = 5;
+  std::vector<double> data(n * dim);
+  for (auto& v : data) v = rng.uniform();
+  TsneOptions opt;
+  opt.iterations = 100;
+  const auto y = tsne2d(data, n, dim, opt);
+  EXPECT_EQ(y.size(), n * 2);
+  for (double v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Tsne, RejectsBadInput) {
+  EXPECT_THROW(tsne2d({1, 2, 3}, 3, 1, {}), std::invalid_argument);  // n < 4
+  EXPECT_THROW(tsne2d({1, 2, 3}, 4, 1, {}), std::invalid_argument);  // size
+}
+
+TEST(Tsne, DeterministicForSeed) {
+  Rng rng(2);
+  const std::size_t n = 12, dim = 3;
+  std::vector<double> data(n * dim);
+  for (auto& v : data) v = rng.uniform();
+  TsneOptions opt;
+  opt.iterations = 80;
+  const auto a = tsne2d(data, n, dim, opt);
+  const auto b = tsne2d(data, n, dim, opt);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Tsne, SeparatesTwoClusters) {
+  // Two well-separated Gaussian blobs must stay separated in the embedding:
+  // between-cluster centroid distance exceeds within-cluster spread.
+  Rng rng(3);
+  const std::size_t per = 15, dim = 8;
+  std::vector<double> data;
+  for (std::size_t i = 0; i < per; ++i)
+    for (std::size_t k = 0; k < dim; ++k) data.push_back(rng.normal(0.0, 0.1));
+  for (std::size_t i = 0; i < per; ++i)
+    for (std::size_t k = 0; k < dim; ++k)
+      data.push_back(rng.normal(5.0, 0.1));
+
+  TsneOptions opt;
+  opt.iterations = 300;
+  opt.perplexity = 8.0;
+  opt.learning_rate = 50.0;
+  const auto y = tsne2d(data, 2 * per, dim, opt);
+
+  auto centroid = [&](std::size_t begin) {
+    double cx = 0.0, cy = 0.0;
+    for (std::size_t i = begin; i < begin + per; ++i) {
+      cx += y[i * 2];
+      cy += y[i * 2 + 1];
+    }
+    return std::pair<double, double>{cx / per, cy / per};
+  };
+  const auto [ax, ay] = centroid(0);
+  const auto [bx, by] = centroid(per);
+
+  // Separation criterion robust to the embedding's overall scale: nearly
+  // every point must be closer to its own cluster's centroid.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < 2 * per; ++i) {
+    const double da = std::hypot(y[i * 2] - ax, y[i * 2 + 1] - ay);
+    const double db = std::hypot(y[i * 2] - bx, y[i * 2 + 1] - by);
+    const bool in_a = i < per;
+    if ((in_a && da < db) || (!in_a && db < da)) ++correct;
+  }
+  EXPECT_GE(correct, 2 * per - 2);
+}
+
+TEST(Tsne, PerplexityClampedForTinyInputs) {
+  Rng rng(4);
+  const std::size_t n = 6, dim = 2;
+  std::vector<double> data(n * dim);
+  for (auto& v : data) v = rng.uniform();
+  TsneOptions opt;
+  opt.perplexity = 50.0;  // way above (n-1)/3; must be clamped internally
+  opt.iterations = 50;
+  EXPECT_NO_THROW(tsne2d(data, n, dim, opt));
+}
+
+}  // namespace
+}  // namespace figret::util

@@ -1,0 +1,136 @@
+#include "te/wcmp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/yen.h"
+#include "te/mlu.h"
+#include "util/rng.h"
+
+namespace figret::te {
+namespace {
+
+PathSet mesh_pathset(std::size_t n) {
+  const net::Graph g = net::full_mesh(n);
+  return PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+}
+
+TEST(Wcmp, WeightsSumToTableSizePerPair) {
+  const PathSet ps = mesh_pathset(4);
+  util::Rng rng(3);
+  TeConfig raw(ps.num_paths());
+  for (auto& v : raw) v = rng.uniform(0.0, 1.0);
+  const TeConfig cfg = normalize_config(ps, raw);
+  const WcmpWeights w = quantize_wcmp(ps, cfg, 16);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    std::uint64_t sum = 0;
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      sum += w[p];
+    EXPECT_EQ(sum, 16u);
+  }
+}
+
+TEST(Wcmp, ExactQuartersQuantizeExactly) {
+  const PathSet ps = mesh_pathset(4);
+  TeConfig cfg(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    cfg[ps.pair_begin(pr)] = 0.5;
+    cfg[ps.pair_begin(pr) + 1] = 0.25;
+    cfg[ps.pair_begin(pr) + 2] = 0.25;
+  }
+  const WcmpWeights w = quantize_wcmp(ps, cfg, 4);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    EXPECT_EQ(w[ps.pair_begin(pr)], 2u);
+    EXPECT_EQ(w[ps.pair_begin(pr) + 1], 1u);
+    EXPECT_EQ(w[ps.pair_begin(pr) + 2], 1u);
+  }
+  EXPECT_DOUBLE_EQ(quantization_error(ps, cfg, w), 0.0);
+}
+
+TEST(Wcmp, ZeroRatioPathsGetZeroWeight) {
+  const PathSet ps = mesh_pathset(4);
+  TeConfig cfg(ps.num_paths(), 0.0);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr)
+    cfg[ps.pair_begin(pr)] = 1.0;
+  const WcmpWeights w = quantize_wcmp(ps, cfg, 8);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    EXPECT_EQ(w[ps.pair_begin(pr)], 8u);
+    EXPECT_EQ(w[ps.pair_begin(pr) + 1], 0u);
+    EXPECT_EQ(w[ps.pair_begin(pr) + 2], 0u);
+  }
+}
+
+TEST(Wcmp, AllZeroGroupFallsBackToUniform) {
+  const PathSet ps = mesh_pathset(4);
+  const TeConfig cfg(ps.num_paths(), 0.0);
+  const WcmpWeights w = quantize_wcmp(ps, cfg, 9);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      EXPECT_EQ(w[p], 3u);
+  }
+}
+
+TEST(Wcmp, RoundTripRatiosAreValid) {
+  const PathSet ps = mesh_pathset(5);
+  util::Rng rng(7);
+  TeConfig raw(ps.num_paths());
+  for (auto& v : raw) v = rng.uniform(0.0, 1.0);
+  const TeConfig cfg = normalize_config(ps, raw);
+  const TeConfig realized = ratios_from_wcmp(ps, quantize_wcmp(ps, cfg, 32));
+  EXPECT_TRUE(valid_config(ps, realized));
+}
+
+class WcmpErrorBound : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WcmpErrorBound, ErrorShrinksWithTableSize) {
+  // Largest-remainder rounding keeps each realized ratio within 1/table_size
+  // of the ideal ratio.
+  const std::uint32_t table = GetParam();
+  const PathSet ps = mesh_pathset(4);
+  util::Rng rng(11);
+  TeConfig raw(ps.num_paths());
+  for (auto& v : raw) v = rng.uniform(0.0, 1.0);
+  const TeConfig cfg = normalize_config(ps, raw);
+  const WcmpWeights w = quantize_wcmp(ps, cfg, table);
+  EXPECT_LE(quantization_error(ps, cfg, w),
+            1.0 / static_cast<double>(table) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, WcmpErrorBound,
+                         ::testing::Values(4u, 8u, 16u, 64u, 256u));
+
+TEST(Wcmp, MluDegradationBoundedByQuantization) {
+  // The MLU of the realized (quantized) configuration approaches the ideal
+  // configuration's MLU as the WCMP table grows.
+  const PathSet ps = mesh_pathset(5);
+  util::Rng rng(13);
+  TeConfig raw(ps.num_paths());
+  for (auto& v : raw) v = rng.uniform(0.1, 1.0);
+  const TeConfig cfg = normalize_config(ps, raw);
+  traffic::DemandMatrix dm(5);
+  for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.1, 1.0);
+
+  const double ideal = mlu(ps, dm, cfg);
+  double prev_gap = 1e300;
+  for (const std::uint32_t table : {4u, 16u, 64u, 256u}) {
+    const TeConfig realized =
+        ratios_from_wcmp(ps, quantize_wcmp(ps, cfg, table));
+    const double gap = std::abs(mlu(ps, dm, realized) - ideal);
+    EXPECT_LE(gap, prev_gap + 1e-9);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.01 * std::max(ideal, 1e-9));
+}
+
+TEST(Wcmp, InputValidation) {
+  const PathSet ps = mesh_pathset(4);
+  const TeConfig cfg = uniform_config(ps);
+  EXPECT_THROW(quantize_wcmp(ps, cfg, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_wcmp(ps, TeConfig(3, 0.0), 8), std::invalid_argument);
+  EXPECT_THROW(ratios_from_wcmp(ps, WcmpWeights(3, 1)), std::invalid_argument);
+  EXPECT_THROW(ratios_from_wcmp(ps, WcmpWeights(ps.num_paths(), 0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace figret::te

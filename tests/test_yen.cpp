@@ -1,0 +1,150 @@
+#include "net/yen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.h"
+
+namespace figret::net {
+namespace {
+
+// Diamond: 0 -> {1,2} -> 3 plus a direct long path 0->4->5->3.
+Graph diamond() {
+  Graph g(6);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 3, 1.0);
+  g.add_link(0, 2, 1.0);
+  g.add_link(2, 3, 1.0);
+  g.add_link(0, 4, 1.0);
+  g.add_link(4, 5, 1.0);
+  g.add_link(5, 3, 1.0);
+  return g;
+}
+
+TEST(ShortestPath, FindsDirectEdge) {
+  Graph g(2);
+  g.add_link(0, 1, 1.0);
+  const auto p = shortest_path(g, 0, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 1u);
+  EXPECT_TRUE(valid_path(g, *p, 0, 1));
+}
+
+TEST(ShortestPath, PrefersFewerHops) {
+  const Graph g = diamond();
+  const auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);
+}
+
+TEST(ShortestPath, LexicographicTieBreak) {
+  const Graph g = diamond();
+  // Both 0->1->3 and 0->2->3 have 2 hops; the deterministic choice is via
+  // the smaller intermediate node id.
+  const auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(ShortestPath, RespectsEdgeBan) {
+  const Graph g = diamond();
+  std::vector<bool> banned(g.num_edges(), false);
+  banned[g.find_edge(0, 1)] = true;
+  const auto p = shortest_path(g, 0, 3, banned);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(ShortestPath, RespectsNodeBan) {
+  const Graph g = diamond();
+  std::vector<bool> node_banned(g.num_nodes(), false);
+  node_banned[1] = true;
+  node_banned[2] = true;
+  const auto p = shortest_path(g, 0, 3, {}, node_banned);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 4, 5, 3}));
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Graph g(3);
+  g.add_link(0, 1, 1.0);
+  EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+}
+
+TEST(ShortestPath, SameSourceDestinationIsNullopt) {
+  const Graph g = diamond();
+  EXPECT_FALSE(shortest_path(g, 0, 0).has_value());
+}
+
+TEST(Yen, FindsKDistinctSortedPaths) {
+  const Graph g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(paths[1].nodes, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(paths[2].nodes, (std::vector<NodeId>{0, 4, 5, 3}));
+  // Sorted by hop count.
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_LE(paths[i - 1].hops(), paths[i].hops());
+}
+
+TEST(Yen, ReturnsFewerWhenGraphHasFewer) {
+  Graph g(3);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 1.0);
+  const auto paths = k_shortest_paths(g, 0, 2, 5);
+  EXPECT_EQ(paths.size(), 1u);  // only 0->1->2 exists
+}
+
+TEST(Yen, ZeroKGivesNothing) {
+  const Graph g = diamond();
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 0).empty());
+}
+
+TEST(Yen, AllPathsSimpleAndValid) {
+  const Graph g = geant();
+  const auto paths = k_shortest_paths(g, 0, 14, 4);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<std::vector<NodeId>> distinct;
+  for (const auto& p : paths) {
+    EXPECT_TRUE(valid_path(g, p, 0, 14));
+    EXPECT_TRUE(distinct.insert(p.nodes).second) << "duplicate path";
+  }
+}
+
+TEST(Yen, FullMeshPathsAreDirectPlusTwoHop) {
+  const Graph g = full_mesh(5);
+  const auto paths = k_shortest_paths(g, 0, 4, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].hops(), 1u);
+  EXPECT_EQ(paths[1].hops(), 2u);
+  EXPECT_EQ(paths[2].hops(), 2u);
+}
+
+TEST(AllPairs, CoversEveryOffDiagonalPair) {
+  const Graph g = full_mesh(4);
+  const auto all = all_pairs_k_shortest(g, 3);
+  ASSERT_EQ(all.size(), 16u);
+  for (NodeId s = 0; s < 4; ++s)
+    for (NodeId d = 0; d < 4; ++d) {
+      if (s == d) {
+        EXPECT_TRUE(all[s * 4 + d].empty());
+      } else {
+        EXPECT_EQ(all[s * 4 + d].size(), 3u);
+        for (const auto& p : all[s * 4 + d])
+          EXPECT_TRUE(valid_path(g, p, s, d));
+      }
+    }
+}
+
+TEST(Yen, DeterministicAcrossCalls) {
+  const Graph g = geant();
+  const auto a = k_shortest_paths(g, 3, 19, 3);
+  const auto b = k_shortest_paths(g, 3, 19, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].nodes, b[i].nodes);
+}
+
+}  // namespace
+}  // namespace figret::net
