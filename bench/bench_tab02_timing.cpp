@@ -22,6 +22,7 @@
 #include "te/lp_schemes.h"
 #include "te/oblivious.h"
 #include "te/teal_like.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace {
@@ -160,5 +161,35 @@ int main(int argc, char** argv) {
                util::fmt(ts.teal_train_seconds, 2), obl_cell, cope_cell});
   }
   t.print(std::cout);
+
+  // Parallel evaluation engine: the omniscient-normalizer LP solves are the
+  // dominant cost of a full harness evaluation; time them serial vs pooled.
+  // Per-snapshot results are bit-identical (tests/test_harness.cpp asserts
+  // it); only wall-clock changes with the thread count.
+  const std::size_t width = util::default_threads();
+  std::cout << "\nHarness omniscient normalizer, serial vs " << width
+            << " thread(s) [FIGRET_THREADS overrides]:\n";
+  util::Table pt({"network", "snapshots", "serial (s)", "parallel (s)",
+                  "speedup"});
+  for (auto& ts : scenarios()) {
+    te::Harness::Options hopt;
+    hopt.eval_stride = ts.sc.eval_stride;
+    hopt.threads = 1;
+    te::Harness serial(ts.sc.ps, ts.sc.trace, hopt);
+    const auto t0 = Clock::now();
+    serial.omniscient();
+    const double serial_s = seconds_since(t0);
+
+    hopt.threads = 0;  // process-wide pool
+    te::Harness pooled(ts.sc.ps, ts.sc.trace, hopt);
+    const auto t1 = Clock::now();
+    pooled.omniscient();
+    const double pooled_s = seconds_since(t1);
+
+    pt.add_row({ts.sc.name, std::to_string(serial.eval_indices().size()),
+                util::fmt(serial_s, 2), util::fmt(pooled_s, 2),
+                util::fmt(pooled_s > 0.0 ? serial_s / pooled_s : 0.0, 2)});
+  }
+  pt.print(std::cout);
   return 0;
 }

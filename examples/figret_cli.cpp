@@ -32,8 +32,8 @@ namespace {
 
 using namespace figret;
 
-void print_usage() {
-  std::cout <<
+void print_usage(std::ostream& os) {
+  os <<
       "figret_cli — FIGRET traffic engineering playground\n\n"
       "  --topology  geant | mesh | tor | wan      (default geant)\n"
       "  --nodes     N (mesh/tor/wan sizes)        (default 8/16/30)\n"
@@ -45,53 +45,117 @@ void print_usage() {
       "  --racke     use Racke-style (SMORE) path selection\n"
       "  --stride    evaluate every k-th test snapshot (default 2)\n"
       "  --seed      trace seed (default 42)\n"
+      "  --threads   evaluation threads (0 = all cores, 1 = serial; default 0)\n"
+      "  --budget    LP time budget in seconds (oblivious/cope; default 60)\n"
       "  --save      path to write the trained FIGRET/DOTE model\n"
       "  --list      print available scenarios and exit\n";
+}
+
+/// Thrown for malformed invocations (unknown flag/subcommand, bad value):
+/// main prints usage and exits 2, distinct from runtime failures (exit 1).
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+void validate(const util::Args& args) {
+  try {
+    args.expect_only({"topology", "nodes", "traffic", "snapshots", "scheme",
+                      "epochs", "history", "robust-weight", "racke", "stride",
+                      "seed", "threads", "budget", "save", "list", "help"});
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+  if (!args.positional().empty())
+    throw UsageError("unknown subcommand '" + args.positional().front() +
+                     "' (figret_cli takes --flags only)");
+}
+
+/// Flag readers that turn malformed values into usage errors (exit 2), and
+/// reject negatives for count-valued flags before the size_t cast can wrap.
+std::size_t flag_size(const util::Args& args, const std::string& key,
+                      long fallback) {
+  long v = fallback;
+  try {
+    v = args.get_int(key, fallback);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+  if (v < 0)
+    throw UsageError("flag --" + key + " must be >= 0, got " +
+                     std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
+double flag_double(const util::Args& args, const std::string& key,
+                   double fallback) {
+  try {
+    return args.get_double(key, fallback);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+}
+
+bool flag_bool(const util::Args& args, const std::string& key) {
+  try {
+    return args.get_bool(key);
+  } catch (const std::invalid_argument& e) {
+    // E.g. "--racke extra": the stray token was consumed as the switch's
+    // value; running without the switch would silently change the result.
+    throw UsageError(e.what());
+  }
 }
 
 net::Graph make_graph(const util::Args& args) {
   const std::string topo = args.get_or("topology", "geant");
   if (topo == "geant") return net::geant();
   if (topo == "mesh")
-    return net::full_mesh(static_cast<std::size_t>(args.get_int("nodes", 8)));
+    return net::full_mesh(flag_size(args, "nodes", 8));
   if (topo == "tor") {
-    const auto n = static_cast<std::size_t>(args.get_int("nodes", 16));
+    const std::size_t n = flag_size(args, "nodes", 16);
     return net::random_regular(n, std::max<std::size_t>(3, n / 4), 7);
   }
   if (topo == "wan") {
-    const auto n = static_cast<std::size_t>(args.get_int("nodes", 30));
+    const std::size_t n = flag_size(args, "nodes", 30);
     return net::sparse_wan(n, n + n / 4, 7);
   }
-  throw std::invalid_argument("unknown --topology " + topo);
+  throw UsageError("unknown --topology " + topo);
 }
 
 traffic::TrafficTrace make_traffic(const util::Args& args, std::size_t nodes) {
   const std::string topo = args.get_or("topology", "geant");
   const std::string kind =
       args.get_or("traffic", topo == "geant" || topo == "wan" ? "wan" : "tor");
-  const auto len = static_cast<std::size_t>(args.get_int("snapshots", 240));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::size_t len = flag_size(args, "snapshots", 240);
+  const auto seed = static_cast<std::uint64_t>(flag_size(args, "seed", 42));
   if (kind == "wan") return traffic::wan_trace(nodes, len, seed);
   if (kind == "gravity") return traffic::gravity_trace(nodes, len, seed);
   if (kind == "tor") return traffic::dc_tor_trace(nodes, len, seed);
   if (kind == "pod") return traffic::dc_pod_trace(nodes, 4, len, seed);
   if (kind == "pfabric") return traffic::pfabric_trace(nodes, len, seed);
-  throw std::invalid_argument("unknown --traffic " + kind);
+  throw UsageError("unknown --traffic " + kind);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const util::Args args(argc, argv);
-    if (args.get_bool("help") || args.get_bool("list")) {
-      print_usage();
+    const util::Args args = [&] {
+      try {
+        return util::Args(argc, argv);
+      } catch (const std::invalid_argument& e) {
+        // E.g. a bare "--": malformed syntax is a usage error like any other.
+        throw UsageError(e.what());
+      }
+    }();
+    validate(args);
+    if (flag_bool(args, "help") || flag_bool(args, "list")) {
+      print_usage(std::cout);
       return 0;
     }
 
     const net::Graph graph = make_graph(args);
     const auto per_pair =
-        args.get_bool("racke")
+        flag_bool(args, "racke")
             ? net::racke_style_paths(graph, {})
             : net::all_pairs_k_shortest(graph, 3);
     const te::PathSet paths = te::PathSet::build(graph, per_pair);
@@ -103,15 +167,16 @@ int main(int argc, char** argv) {
               << " snapshots\n";
 
     te::Harness::Options hopt;
-    hopt.eval_stride = static_cast<std::size_t>(args.get_int("stride", 2));
+    hopt.eval_stride = flag_size(args, "stride", 2);
     hopt.max_window = 16;
+    hopt.threads = flag_size(args, "threads", 0);
     te::Harness harness(paths, trace, hopt);
 
     te::FigretOptions fopt;
-    fopt.history = static_cast<std::size_t>(args.get_int("history", 8));
-    fopt.epochs = static_cast<std::size_t>(args.get_int("epochs", 15));
+    fopt.history = flag_size(args, "history", 8);
+    fopt.epochs = flag_size(args, "epochs", 15);
     fopt.hidden = {128, 128, 128};
-    fopt.robust_weight = args.get_double("robust-weight", 4.0);
+    fopt.robust_weight = flag_double(args, "robust-weight", 4.0);
 
     const std::string scheme_name = args.get_or("scheme", "figret");
     std::unique_ptr<te::TeScheme> scheme;
@@ -150,7 +215,7 @@ int main(int argc, char** argv) {
       scheme = std::move(s);
     } else if (scheme_name == "oblivious") {
       te::ObliviousOptions oopt;
-      oopt.time_budget_seconds = args.get_double("budget", 60.0);
+      oopt.time_budget_seconds = flag_double(args, "budget", 60.0);
       auto s = std::make_unique<te::ObliviousTe>(paths, oopt);
       s->fit(harness.train_trace());
       result = harness.evaluate_config(
@@ -159,16 +224,14 @@ int main(int argc, char** argv) {
       scheme = std::move(s);
     } else if (scheme_name == "cope") {
       te::CopeOptions copt;
-      copt.oblivious.time_budget_seconds = args.get_double("budget", 60.0);
+      copt.oblivious.time_budget_seconds = flag_double(args, "budget", 60.0);
       auto s = std::make_unique<te::CopeTe>(paths, copt);
       s->fit(harness.train_trace());
       result = harness.evaluate_config(
           s->result().converged ? "COPE" : "COPE (budget hit)", s->advise({}));
       scheme = std::move(s);
     } else {
-      std::cerr << "unknown --scheme " << scheme_name << "\n";
-      print_usage();
-      return 2;
+      throw UsageError("unknown --scheme " + scheme_name);
     }
 
     const util::BoxStats s = result.stats();
@@ -185,6 +248,10 @@ int main(int argc, char** argv) {
                util::fmt(result.mean_advise_seconds * 1e3, 3)});
     t.print(std::cout);
     return 0;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage(std::cerr);
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -78,6 +79,45 @@ std::span<const double> Mlp::forward(std::span<const double> x,
   return ws.post.back();
 }
 
+const linalg::Matrix& Mlp::forward_batch(const linalg::Matrix& x,
+                                         MlpBatchWorkspace& ws) const {
+  if (x.cols() != input_size())
+    throw std::invalid_argument("Mlp::forward_batch: input size mismatch");
+  const std::size_t layers = weight_.size();
+  ws.pre.resize(layers);
+  ws.post.resize(layers);
+
+  const linalg::Matrix* in = &x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    // [batch x out] = [batch x in] * W^T; each element reduces over the
+    // input dimension in ascending order, exactly like the per-sample dot.
+    ws.pre[l] = in->matmul_t(weight_[l]);
+    linalg::Matrix& pre = ws.pre[l];
+    const std::vector<double>& b = bias_[l];
+    for (std::size_t r = 0; r < pre.rows(); ++r) {
+      const std::span<double> row = pre.row(r);
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += b[i];
+    }
+
+    linalg::Matrix& post = ws.post[l];
+    if (post.rows() != pre.rows() || post.cols() != pre.cols())
+      post = linalg::Matrix(pre.rows(), pre.cols());
+    const std::span<const double> src = pre.flat();
+    const std::span<double> dst = post.flat();
+    const bool last = l + 1 == layers;
+    if (!last) {
+      for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = src[i] > 0.0 ? src[i] : 0.0;  // ReLU
+    } else if (cfg_.output == OutputActivation::kSigmoid) {
+      for (std::size_t i = 0; i < src.size(); ++i) dst[i] = sigmoid(src[i]);
+    } else {
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    in = &post;
+  }
+  return ws.post.back();
+}
+
 void Mlp::backward(std::span<const double> x, const MlpWorkspace& ws,
                    std::span<const double> dl_doutput,
                    MlpGradients& grads) const {
@@ -121,6 +161,47 @@ void Mlp::backward(std::span<const double> x, const MlpWorkspace& ws,
     const auto& pre = ws.pre[li - 1];
     for (std::size_t i = 0; i < prev.size(); ++i)
       if (pre[i] <= 0.0) prev[i] = 0.0;
+    delta = std::move(prev);
+  }
+}
+
+void Mlp::backward_batch(const linalg::Matrix& x, const MlpBatchWorkspace& ws,
+                         const linalg::Matrix& dl_doutput,
+                         MlpGradients& grads) const {
+  const std::size_t layers = weight_.size();
+  if (ws.post.size() != layers || ws.post.back().rows() != x.rows())
+    throw std::invalid_argument("Mlp::backward_batch: stale workspace");
+  if (dl_doutput.rows() != x.rows() || dl_doutput.cols() != output_size())
+    throw std::invalid_argument(
+        "Mlp::backward_batch: output grad shape mismatch");
+
+  // delta = dL/d(pre-activation), [batch x width] of the current layer.
+  linalg::Matrix delta = dl_doutput;
+  if (cfg_.output == OutputActivation::kSigmoid) {
+    const linalg::Matrix& y = ws.post.back();
+    std::span<double> d = delta.flat();
+    const std::span<const double> yv = y.flat();
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] *= yv[i] * (1.0 - yv[i]);
+  }
+
+  for (std::size_t li = layers; li-- > 0;) {
+    const linalg::Matrix& in = li == 0 ? x : ws.post[li - 1];
+    // Summed-over-batch gradients: delta^T * in is [out x in_width], with
+    // the batch reduction in ascending sample order.
+    grads.weight[li] += delta.t_matmul(in);
+    auto& gb = grads.bias[li];
+    for (std::size_t b = 0; b < delta.rows(); ++b) {
+      const std::span<const double> row = delta.row(b);
+      for (std::size_t r = 0; r < row.size(); ++r) gb[r] += row[r];
+    }
+    if (li == 0) break;
+
+    // Propagate: delta_prev = delta * W, masked by ReLU'(pre_{l-1}).
+    linalg::Matrix prev = delta.matmul(weight_[li]);
+    const std::span<const double> pre = ws.pre[li - 1].flat();
+    std::span<double> pv = prev.flat();
+    for (std::size_t i = 0; i < pv.size(); ++i)
+      if (pre[i] <= 0.0) pv[i] = 0.0;
     delta = std::move(prev);
   }
 }

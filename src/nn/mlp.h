@@ -39,6 +39,12 @@ struct MlpWorkspace {
   std::vector<std::vector<double>> post;  // post-activation per layer
 };
 
+/// Scratch for a minibatch pass: one [batch x width] matrix per layer.
+struct MlpBatchWorkspace {
+  std::vector<linalg::Matrix> pre;
+  std::vector<linalg::Matrix> post;
+};
+
 class Mlp {
  public:
   explicit Mlp(const MlpConfig& config);
@@ -58,6 +64,20 @@ class Mlp {
   /// *accumulating* into `grads` (callers zero() between minibatches).
   void backward(std::span<const double> x, const MlpWorkspace& ws,
                 std::span<const double> dl_doutput, MlpGradients& grads) const;
+
+  /// Minibatch forward: `x` is [batch x input_size], row b is sample b. The
+  /// returned matrix aliases ws.post.back() ([batch x output_size]) and row b
+  /// is bit-identical to forward() on row b alone — the matmul kernel reduces
+  /// each dot product in the same index order as the per-sample path.
+  const linalg::Matrix& forward_batch(const linalg::Matrix& x,
+                                      MlpBatchWorkspace& ws) const;
+
+  /// Minibatch backward: `dl_doutput` is [batch x output_size]. Accumulates
+  /// the summed-over-batch parameter gradients into `grads`, matching a
+  /// sample-by-sample backward() over the rows of `x`.
+  void backward_batch(const linalg::Matrix& x, const MlpBatchWorkspace& ws,
+                      const linalg::Matrix& dl_doutput,
+                      MlpGradients& grads) const;
 
   MlpGradients make_gradients() const;
 

@@ -90,30 +90,45 @@ void FigretScheme::fit(const traffic::TrafficTrace& train) {
   for (std::size_t t = opt_.history; t < train.size(); ++t)
     samples.push_back(t);
 
+  // Minibatches run through the batched matrix-matrix forward/backward: one
+  // matmul per layer instead of a matvec per sample. Per-sample math (loss,
+  // gradient averaging, update schedule) is unchanged from the matvec path.
+  const std::size_t in_dim = opt_.history * pairs;
   std::vector<double> grad_sig;
+  nn::MlpBatchWorkspace bws;
   for (std::size_t epoch = 0; epoch < opt_.epochs; ++epoch) {
     // Shuffle sample order each epoch (stochastic minibatch SGD).
     const auto perm = rng.permutation(samples.size());
     double epoch_loss = 0.0;
-    std::size_t in_batch = 0;
-    grads.zero();
-    for (std::size_t k = 0; k < samples.size(); ++k) {
-      const std::size_t t = samples[perm[k]];
-      const auto x = build_input(
-          {train.snapshots.data() + (t - opt_.history), opt_.history});
-      const auto sig = model_->forward(x, ws_);
-      const LossValue lv =
-          figret_loss(*ps_, train[t], sig, pair_weights_, lcfg, &grad_sig);
-      epoch_loss += lv.total;
-      // Average gradients across the minibatch.
-      const double inv = 1.0 / static_cast<double>(opt_.batch_size);
-      for (double& g : grad_sig) g *= inv;
-      model_->backward(x, ws_, grad_sig, grads);
-      if (++in_batch == opt_.batch_size || k + 1 == samples.size()) {
-        adam.step(*model_, grads);
-        grads.zero();
-        in_batch = 0;
+    for (std::size_t k0 = 0; k0 < samples.size(); k0 += opt_.batch_size) {
+      const std::size_t k1 =
+          std::min(samples.size(), k0 + opt_.batch_size);
+      const std::size_t batch = k1 - k0;
+
+      linalg::Matrix x(batch, in_dim);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t t = samples[perm[k0 + b]];
+        const auto row = build_input(
+            {train.snapshots.data() + (t - opt_.history), opt_.history});
+        std::copy(row.begin(), row.end(), x.row(b).begin());
       }
+
+      const linalg::Matrix& sig = model_->forward_batch(x, bws);
+      linalg::Matrix dl(batch, ps_->num_paths());
+      const double inv = 1.0 / static_cast<double>(opt_.batch_size);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t t = samples[perm[k0 + b]];
+        const LossValue lv = figret_loss(*ps_, train[t], sig.row(b),
+                                         pair_weights_, lcfg, &grad_sig);
+        epoch_loss += lv.total;
+        // Average gradients across the minibatch.
+        for (std::size_t j = 0; j < grad_sig.size(); ++j)
+          dl(b, j) = grad_sig[j] * inv;
+      }
+
+      grads.zero();
+      model_->backward_batch(x, bws, dl, grads);
+      adam.step(*model_, grads);
     }
     final_epoch_loss_ = epoch_loss / static_cast<double>(samples.size());
   }

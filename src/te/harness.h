@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ class Harness {
     /// History snapshots available before the first test index must cover
     /// the largest scheme window.
     std::size_t max_window = 16;
+    /// Execution width for per-snapshot work (omniscient LP solves and MLU
+    /// evaluation): 0 = the process-wide pool (FIGRET_THREADS / hardware),
+    /// 1 = serial reference mode. Results are bit-identical either way: each
+    /// snapshot's solve is independent and lands in its own output slot.
+    std::size_t threads = 0;
   };
 
   Harness(const PathSet& ps, traffic::TrafficTrace trace);
@@ -73,8 +79,24 @@ class Harness {
                                      const std::vector<net::EdgeId>& failed,
                                      bool fit = true);
 
+  /// Fits and evaluates several schemes concurrently (one thread per scheme;
+  /// schemes must be distinct objects). The omniscient normalizer is
+  /// materialized first so every scheme shares the identical cached vector.
+  /// Results are returned in input order; raw_mlu/normalized/severe counts
+  /// are bit-identical to calling evaluate() on each scheme serially, but
+  /// mean_advise_seconds is wall-clock under core contention — use
+  /// evaluate() when producing Table 2-style timing columns.
+  std::vector<SchemeEval> evaluate_all(std::span<TeScheme* const> schemes,
+                                       bool fit = true);
+
  private:
   std::vector<double> omniscient_for_alive(const std::vector<bool>* alive);
+  SchemeEval evaluate_with_width(TeScheme& scheme, bool fit,
+                                 std::size_t threads);
+  /// Runs the (stateful, serial) timed advise loop over every eval index;
+  /// accumulates wall-clock into *advise_seconds.
+  std::vector<TeConfig> advise_all(TeScheme& scheme, std::size_t window,
+                                   double* advise_seconds);
   SchemeEval finish(std::string name, std::vector<double> raw,
                     const std::vector<double>& reference,
                     double total_seconds);

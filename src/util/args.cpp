@@ -1,5 +1,9 @@
 #include "util/args.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace figret::util {
@@ -45,29 +49,54 @@ std::string Args::get_or(const std::string& key,
 double Args::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  try {
-    return std::stod(*v);
-  } catch (const std::exception&) {
+  // strtod + end-pointer check rather than std::stod: stod accepts trailing
+  // garbage ("12abc" -> 12), which silently mis-runs experiments.
+  const char* s = v->c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(s, &end);
+  // ERANGE alone is not enough: strtod also sets it on *underflow* while
+  // returning the correctly rounded subnormal (e.g. "1e-320"), which is a
+  // perfectly usable value. Only reject overflow.
+  const bool overflow = errno == ERANGE && (parsed == HUGE_VAL ||
+                                            parsed == -HUGE_VAL);
+  if (end == s || *end != '\0' || overflow)
     throw std::invalid_argument("Args: flag --" + key +
                                 " expects a number, got '" + *v + "'");
-  }
+  return parsed;
 }
 
 long Args::get_int(const std::string& key, long fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  try {
-    return std::stol(*v);
-  } catch (const std::exception&) {
+  const char* s = v->c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE)
     throw std::invalid_argument("Args: flag --" + key +
                                 " expects an integer, got '" + *v + "'");
-  }
+  return parsed;
 }
 
 bool Args::get_bool(const std::string& key, bool fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  // A bare switch stores "true", so an unrecognized value here is almost
+  // always a stray token the parser consumed ("--racke extra"); treating it
+  // as false would silently run without the switch.
+  throw std::invalid_argument("Args: flag --" + key +
+                              " expects a boolean, got '" + *v + "'");
+}
+
+void Args::expect_only(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
+      throw std::invalid_argument("Args: unknown flag --" + key);
+  }
 }
 
 }  // namespace figret::util

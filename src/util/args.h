@@ -2,9 +2,11 @@
 // Supports --key value and --key=value forms plus boolean switches.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace figret::util {
@@ -18,9 +20,20 @@ class Args {
   bool has(const std::string& key) const;
   std::optional<std::string> get(const std::string& key) const;
   std::string get_or(const std::string& key, const std::string& fallback) const;
+  /// Numeric getters parse the *entire* value: trailing garbage ("12abc"),
+  /// empty values, and out-of-range magnitudes all throw
+  /// std::invalid_argument naming the offending flag — never the fallback.
   double get_double(const std::string& key, double fallback) const;
   long get_int(const std::string& key, long fallback) const;
+  /// Accepts true/false, 1/0, yes/no, on/off (a bare switch stores "true");
+  /// any other value throws — it is usually a stray token the "--key value"
+  /// rule consumed, and ignoring it would silently drop the switch.
   bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Rejects unrecognized flags: throws std::invalid_argument naming the
+  /// first parsed --flag that is not in `allowed` (CLIs call this so a typo
+  /// fails loudly instead of silently running on defaults).
+  void expect_only(std::initializer_list<std::string_view> allowed) const;
 
   const std::vector<std::string>& positional() const noexcept {
     return positional_;

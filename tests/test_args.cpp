@@ -31,6 +31,14 @@ TEST(Args, BooleanSwitch) {
   EXPECT_TRUE(a.get_bool("absent", true));
 }
 
+TEST(Args, BooleanGarbageThrows) {
+  // "--racke extra" consumes the stray token as the switch's value; a
+  // strict get_bool must refuse it instead of silently dropping the switch.
+  const Args a = parse({"--racke", "extra", "--off", "off"});
+  EXPECT_THROW(a.get_bool("racke"), std::invalid_argument);
+  EXPECT_FALSE(a.get_bool("off", true));
+}
+
 TEST(Args, SwitchFollowedByFlag) {
   const Args a = parse({"--quick", "--scenario", "pFabric"});
   EXPECT_TRUE(a.get_bool("quick"));
@@ -56,6 +64,58 @@ TEST(Args, BadNumbersThrow) {
   const Args a = parse({"--n", "abc"});
   EXPECT_THROW(a.get_int("n", 0), std::invalid_argument);
   EXPECT_THROW(a.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Args, TrailingGarbageThrowsInsteadOfTruncating) {
+  // Regression: "--epochs 12abc" must not silently run with 12 (or with the
+  // fallback) — a typo'd experiment should die loudly, naming the flag.
+  const Args a = parse({"--epochs", "12abc", "--weight", "2.5e"});
+  try {
+    a.get_int("epochs", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--epochs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12abc"), std::string::npos);
+  }
+  EXPECT_THROW(a.get_double("weight", 0.0), std::invalid_argument);
+}
+
+TEST(Args, EmptyValueThrows) {
+  const Args a = parse({"--epochs="});
+  EXPECT_THROW(a.get_int("epochs", 3), std::invalid_argument);
+  EXPECT_THROW(a.get_double("epochs", 3.0), std::invalid_argument);
+}
+
+TEST(Args, OutOfRangeThrows) {
+  const Args a = parse({"--big", "1e999", "--huge", "99999999999999999999"});
+  EXPECT_THROW(a.get_double("big", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.get_int("huge", 0), std::invalid_argument);
+}
+
+TEST(Args, StrictParseStillAcceptsValidForms) {
+  const Args a = parse({"--a", "-12", "--b", "2.5e-3", "--c", "+7"});
+  EXPECT_EQ(a.get_int("a", 0), -12);
+  EXPECT_DOUBLE_EQ(a.get_double("b", 0.0), 2.5e-3);
+  EXPECT_EQ(a.get_int("c", 0), 7);
+}
+
+TEST(Args, SubnormalUnderflowIsNotAnError) {
+  // strtod flags underflow with ERANGE while still returning the rounded
+  // subnormal; that must parse, only true overflow is rejected.
+  const Args a = parse({"--tiny", "1e-320"});
+  EXPECT_GT(a.get_double("tiny", 0.0), 0.0);
+  EXPECT_LT(a.get_double("tiny", 0.0), 1e-300);
+}
+
+TEST(Args, ExpectOnlyNamesUnknownFlag) {
+  const Args a = parse({"--scheme", "figret", "--epohcs", "12"});
+  EXPECT_NO_THROW(a.expect_only({"scheme", "epohcs"}));
+  try {
+    a.expect_only({"scheme", "epochs"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--epohcs"), std::string::npos);
+  }
 }
 
 TEST(Args, BareDoubleDashThrows) {

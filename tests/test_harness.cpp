@@ -112,6 +112,74 @@ TEST(Harness, StatsSummarizeNormalizedSeries) {
   EXPECT_NEAR(ev.average(), util::mean(ev.normalized), 1e-12);
 }
 
+TEST(Harness, ParallelEvaluationBitIdenticalToSerial) {
+  // The acceptance property of the parallel engine: the thread pool changes
+  // wall-clock, never results. Serial (threads = 1) and parallel (threads =
+  // 4) harnesses over the same trace must produce bit-identical evaluations,
+  // including the shared omniscient normalizer.
+  const PathSet ps = mesh_pathset(4);
+  const traffic::TrafficTrace trace = traffic::dc_tor_trace(4, 80, 23);
+
+  Harness::Options serial_opt;
+  serial_opt.max_window = 12;
+  serial_opt.threads = 1;
+  Harness serial(ps, trace, serial_opt);
+
+  Harness::Options par_opt = serial_opt;
+  par_opt.threads = 4;
+  Harness parallel(ps, trace, par_opt);
+
+  const auto& omni_s = serial.omniscient();
+  const auto& omni_p = parallel.omniscient();
+  ASSERT_EQ(omni_s.size(), omni_p.size());
+  for (std::size_t i = 0; i < omni_s.size(); ++i)
+    EXPECT_EQ(omni_s[i], omni_p[i]) << "omniscient slot " << i;
+
+  PredictionTe pred_s(ps), pred_p(ps);
+  const SchemeEval ev_s = serial.evaluate(pred_s);
+  const SchemeEval ev_p = parallel.evaluate(pred_p);
+  ASSERT_EQ(ev_s.normalized.size(), ev_p.normalized.size());
+  for (std::size_t i = 0; i < ev_s.normalized.size(); ++i) {
+    EXPECT_EQ(ev_s.raw_mlu[i], ev_p.raw_mlu[i]) << "raw slot " << i;
+    EXPECT_EQ(ev_s.normalized[i], ev_p.normalized[i]) << "norm slot " << i;
+  }
+  EXPECT_EQ(ev_s.severe_congestion, ev_p.severe_congestion);
+
+  const auto failed = sample_safe_failures(ps, 1, 3);
+  const SchemeEval f_s = serial.evaluate_under_failures(pred_s, failed);
+  const SchemeEval f_p = parallel.evaluate_under_failures(pred_p, failed);
+  ASSERT_EQ(f_s.normalized.size(), f_p.normalized.size());
+  for (std::size_t i = 0; i < f_s.normalized.size(); ++i)
+    EXPECT_EQ(f_s.normalized[i], f_p.normalized[i]) << "failure slot " << i;
+}
+
+TEST(Harness, EvaluateAllMatchesIndividualEvaluates) {
+  const PathSet ps = mesh_pathset(4);
+  const traffic::TrafficTrace trace = traffic::dc_tor_trace(4, 80, 23);
+  Harness::Options opt;
+  opt.max_window = 12;
+  Harness h(ps, trace, opt);
+
+  PredictionTe a(ps), b(ps);
+  DesensitizationTe c(ps);
+  std::vector<TeScheme*> schemes{&a, &b, &c};
+  const std::vector<SchemeEval> all = h.evaluate_all(schemes);
+  ASSERT_EQ(all.size(), 3u);
+
+  PredictionTe ref_a(ps);
+  DesensitizationTe ref_c(ps);
+  const SchemeEval ea = h.evaluate(ref_a);
+  const SchemeEval ec = h.evaluate(ref_c);
+  EXPECT_EQ(all[0].name, ea.name);
+  EXPECT_EQ(all[2].name, ec.name);
+  ASSERT_EQ(all[0].normalized.size(), ea.normalized.size());
+  for (std::size_t i = 0; i < ea.normalized.size(); ++i) {
+    EXPECT_EQ(all[0].normalized[i], ea.normalized[i]);
+    EXPECT_EQ(all[1].normalized[i], ea.normalized[i]);  // same scheme kind
+    EXPECT_EQ(all[2].normalized[i], ec.normalized[i]);
+  }
+}
+
 TEST(Harness, WindowTooLargeThrows) {
   const PathSet ps = mesh_pathset(4);
   Harness h = make_harness(ps);

@@ -210,5 +210,85 @@ TEST(Mlp, BackwardAccumulates) {
                   1e-12);
 }
 
+TEST(Mlp, ForwardBatchMatchesPerSampleForward) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {6, 16, 16, 5};
+  cfg.seed = 17;
+  const Mlp m(cfg);
+
+  const std::size_t batch = 9;
+  util::Rng rng(29);
+  linalg::Matrix x(batch, m.input_size());
+  for (double& v : x.flat()) v = rng.uniform(-2.0, 2.0);
+
+  MlpBatchWorkspace bws;
+  const linalg::Matrix& y = m.forward_batch(x, bws);
+  ASSERT_EQ(y.rows(), batch);
+  ASSERT_EQ(y.cols(), m.output_size());
+
+  MlpWorkspace ws;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto yb = m.forward(x.row(b), ws);
+    for (std::size_t j = 0; j < m.output_size(); ++j)
+      EXPECT_DOUBLE_EQ(y(b, j), yb[j]) << "sample " << b << " output " << j;
+  }
+}
+
+TEST(Mlp, BackwardBatchMatchesSummedPerSampleBackward) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {4, 12, 12, 3};
+  cfg.seed = 23;
+  const Mlp m(cfg);
+
+  const std::size_t batch = 7;
+  util::Rng rng(31);
+  linalg::Matrix x(batch, m.input_size());
+  for (double& v : x.flat()) v = rng.uniform(-1.5, 1.5);
+  linalg::Matrix dl(batch, m.output_size());
+  for (double& v : dl.flat()) v = rng.uniform(-1.0, 1.0);
+
+  MlpBatchWorkspace bws;
+  (void)m.forward_batch(x, bws);
+  MlpGradients batched = m.make_gradients();
+  m.backward_batch(x, bws, dl, batched);
+
+  MlpWorkspace ws;
+  MlpGradients summed = m.make_gradients();
+  for (std::size_t b = 0; b < batch; ++b) {
+    (void)m.forward(x.row(b), ws);
+    m.backward(x.row(b), ws, dl.row(b), summed);
+  }
+
+  for (std::size_t l = 0; l < m.num_layers(); ++l) {
+    for (std::size_t i = 0; i < batched.weight[l].size(); ++i)
+      EXPECT_NEAR(batched.weight[l].flat()[i], summed.weight[l].flat()[i],
+                  1e-12)
+          << "layer " << l << " weight " << i;
+    for (std::size_t i = 0; i < batched.bias[l].size(); ++i)
+      EXPECT_NEAR(batched.bias[l][i], summed.bias[l][i], 1e-12)
+          << "layer " << l << " bias " << i;
+  }
+}
+
+TEST(Mlp, BackwardBatchRejectsStaleBatchDimension) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {3, 4, 2};
+  const Mlp m(cfg);
+  MlpBatchWorkspace bws;
+  (void)m.forward_batch(linalg::Matrix(4, 3), bws);  // workspace for batch 4
+  MlpGradients g = m.make_gradients();
+  const linalg::Matrix x(8, 3), dl(8, 2);  // larger batch, stale workspace
+  EXPECT_THROW(m.backward_batch(x, bws, dl, g), std::invalid_argument);
+}
+
+TEST(Mlp, ForwardBatchRejectsWrongWidth) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {3, 4, 2};
+  const Mlp m(cfg);
+  MlpBatchWorkspace bws;
+  const linalg::Matrix bad(2, 5);
+  EXPECT_THROW(m.forward_batch(bad, bws), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace figret::nn
