@@ -11,10 +11,14 @@
 //  * FIGRET's training time is far below the RL-based TEAL-style trainer's.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "bench_common.h"
 #include "te/cope.h"
@@ -130,11 +134,18 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Precomputation columns of Table 2.
+  // Precomputation columns of Table 2. FIGRET_BENCH_BUDGET (seconds)
+  // overrides the Oblivious/COPE time budget so CI smoke runs don't spend
+  // 2 x 60s spinning to print "Infeasible (budget)".
   std::cout << "\nPrecomputation (training / cutting-plane) time:\n";
   util::Table t({"network", "FIGRET train (s)", "TEAL-like train (s)",
                  "Oblivious", "COPE"});
-  const double budget = bench::full_mode() ? 600.0 : 60.0;
+  double budget = bench::full_mode() ? 600.0 : 60.0;
+  if (const char* env = std::getenv("FIGRET_BENCH_BUDGET")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v >= 0.0) budget = v;
+  }
   for (auto& ts : scenarios()) {
     std::string obl_cell = "-", cope_cell = "-";
     if (ts.sc.ps.num_nodes() <= 30) {
@@ -161,6 +172,58 @@ int main(int argc, char** argv) {
                util::fmt(ts.teal_train_seconds, 2), obl_cell, cope_cell});
   }
   t.print(std::cout);
+
+  // LP engine comparison on the omniscient-normalizer sweep: the dense
+  // tableau oracle vs the sparse revised simplex, cold per snapshot vs
+  // warm-started from the previous snapshot's optimal basis (consecutive
+  // snapshots share the constraint structure, so the basis usually re-primes
+  // in a handful of pivots). All three run serially over the same snapshots
+  // so wall-clock and pivot counts are directly comparable.
+  std::cout << "\nLP engines on the omniscient-normalizer sweep "
+            << "(serial, same snapshots):\n";
+  // "warm hits" counts accepted probes over probes actually made (the first
+  // solve of a chain has no basis to probe, and the handle's backoff skips
+  // probes after persistent misses — neither is a rejection).
+  util::Table et({"network", "solves", "dense (s)", "dense pivots",
+                  "revised (s)", "revised pivots", "warm (s)", "warm pivots",
+                  "warm hits/probes"});
+  for (auto& ts : scenarios()) {
+    const std::size_t count =
+        std::min<std::size_t>(bench::full_mode() ? 60 : 24,
+                              ts.sc.trace.size());
+    const std::size_t begin = ts.sc.trace.size() - count;
+    struct EngineRun {
+      double seconds = 0.0;
+      std::size_t pivots = 0;
+    };
+    auto sweep = [&](const lp::SolverOptions& opt,
+                     lp::WarmStart* warm) {
+      EngineRun run;
+      const auto t0 = Clock::now();
+      for (std::size_t t = begin; t < ts.sc.trace.size(); ++t) {
+        const te::MluLpResult res = te::solve_mlu_lp(
+            ts.sc.ps, ts.sc.trace[t], nullptr, nullptr, &opt, warm);
+        if (!res.optimal()) throw std::runtime_error("engine sweep LP failed");
+        run.pivots += res.pivots;
+      }
+      run.seconds = seconds_since(t0);
+      return run;
+    };
+    lp::SolverOptions dense_opt;
+    dense_opt.engine = lp::Engine::kDenseTableau;
+    lp::SolverOptions revised_opt;  // default: kRevisedSparse
+    const EngineRun dense = sweep(dense_opt, nullptr);
+    const EngineRun cold = sweep(revised_opt, nullptr);
+    lp::WarmStart warm;
+    const EngineRun hot = sweep(revised_opt, &warm);
+    et.add_row({ts.sc.name, std::to_string(count),
+                util::fmt(dense.seconds, 3), std::to_string(dense.pivots),
+                util::fmt(cold.seconds, 3), std::to_string(cold.pivots),
+                util::fmt(hot.seconds, 3), std::to_string(hot.pivots),
+                std::to_string(warm.hits()) + "/" +
+                    std::to_string(warm.hits() + warm.misses())});
+  }
+  et.print(std::cout);
 
   // Parallel evaluation engine: the omniscient-normalizer LP solves are the
   // dominant cost of a full harness evaluation; time them serial vs pooled.

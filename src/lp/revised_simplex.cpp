@@ -1,0 +1,554 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lp/sparse.h"
+
+namespace figret::lp {
+namespace {
+
+// Eta entries smaller than this are dropped; the periodic refactorization
+// and the pre-optimality rebuild bound the accumulated error.
+constexpr double kEtaDrop = 1e-13;
+constexpr double kSingularTol = 1e-10;
+
+// One elementary matrix of the product-form inverse: identity except column
+// `pivot_row`, which holds 1/w_r on the diagonal and -w_i/w_r elsewhere.
+struct Eta {
+  std::uint32_t pivot_row = 0;
+  double pivot_value = 0.0;
+  std::vector<std::pair<std::uint32_t, double>> entries;
+};
+
+class RevisedSimplex {
+ public:
+  using VarState = WarmStart::VarState;
+
+  RevisedSimplex(const LpProblem& p, const SolverOptions& opt) : opt_(opt) {
+    const std::size_t n = p.num_variables();
+    const std::size_t m = p.num_constraints();
+    n_struct_ = n;
+    m_ = m;
+
+    // Normalize rows to rhs >= 0 (negation flips the relation), mirroring
+    // the dense engine so both see the same standard form.
+    std::vector<Relation> rels(m);
+    b_.assign(m, 0.0);
+    negated_.assign(m, false);
+    {
+      std::size_t i = 0;
+      for (const auto& row : p.rows()) {
+        Relation rel = row.rel;
+        double rhs = row.rhs;
+        if (rhs < 0.0) {
+          rhs = -rhs;
+          negated_[i] = true;
+          if (rel == Relation::kLessEq)
+            rel = Relation::kGreaterEq;
+          else if (rel == Relation::kGreaterEq)
+            rel = Relation::kLessEq;
+        }
+        rels[i] = rel;
+        b_[i] = rhs;
+        ++i;
+      }
+    }
+
+    // Column layout (identical to the dense engine): [0, n) structural, then
+    // one slack/surplus per inequality, then one artificial per >=/= row.
+    std::size_t n_slack = 0, n_art = 0;
+    for (Relation r : rels) {
+      if (r != Relation::kEq) ++n_slack;
+      if (r != Relation::kLessEq) ++n_art;
+    }
+    art_begin_ = n + n_slack;
+    n_total_ = n + n_slack + n_art;
+
+    std::vector<Triplet> trip;
+    {
+      std::size_t nnz = 0;
+      for (const auto& row : p.rows()) nnz += row.terms.size();
+      trip.reserve(nnz + n_slack + n_art);
+    }
+    {
+      std::size_t i = 0;
+      for (const auto& row : p.rows()) {
+        const double sign = negated_[i] ? -1.0 : 1.0;
+        for (const Term& t : row.terms)
+          trip.push_back({static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(t.var), sign * t.coeff});
+        ++i;
+      }
+    }
+    std::size_t slack = n;
+    std::size_t art = art_begin_;
+    init_basis_.assign(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto r32 = static_cast<std::uint32_t>(i);
+      switch (rels[i]) {
+        case Relation::kLessEq:
+          trip.push_back({r32, static_cast<std::uint32_t>(slack), 1.0});
+          init_basis_[i] = static_cast<std::uint32_t>(slack++);
+          break;
+        case Relation::kGreaterEq:
+          trip.push_back({r32, static_cast<std::uint32_t>(slack++), -1.0});
+          trip.push_back({r32, static_cast<std::uint32_t>(art), 1.0});
+          init_basis_[i] = static_cast<std::uint32_t>(art++);
+          break;
+        case Relation::kEq:
+          trip.push_back({r32, static_cast<std::uint32_t>(art), 1.0});
+          init_basis_[i] = static_cast<std::uint32_t>(art++);
+          break;
+      }
+    }
+    A_ = SparseMatrix::from_triplets(m, n_total_, std::move(trip));
+
+    ub_.assign(n_total_, kInfinity);
+    for (std::size_t j = 0; j < n; ++j) ub_[j] = p.upper_bounds()[j];
+    obj_.assign(n_total_, 0.0);
+    for (std::size_t j = 0; j < n; ++j) obj_[j] = p.objective()[j];
+
+    // Structural signature for warm-start compatibility: shape plus the
+    // normalized relation pattern (it determines the logical-column layout).
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    };
+    mix(n);
+    mix(m);
+    for (Relation r : rels) mix(static_cast<std::uint64_t>(r) + 1);
+    row_signature_ = h;
+  }
+
+  LpResult run(WarmStart* warm, SolveStats* stats) {
+    LpResult result;
+    bool warm_ok = try_warm_start(warm);
+    if (!warm_ok) cold_init();
+
+    if (!warm_ok) {
+      // Phase 1: minimize the sum of artificial variables.
+      if (art_begin_ < n_total_) {
+        cost_.assign(n_total_, 0.0);
+        for (std::size_t j = art_begin_; j < n_total_; ++j) cost_[j] = 1.0;
+        Status st = iterate(/*phase1=*/true);
+        if (st != Status::kOptimal) {
+          result.status = st == Status::kUnbounded ? Status::kInfeasible : st;
+          return finish(result, warm, stats);
+        }
+        double z1 = 0.0;
+        for (std::size_t i = 0; i < m_; ++i)
+          if (basis_[i] >= art_begin_) z1 += std::max(beta_[i], 0.0);
+        if (z1 > 1e-6) {
+          result.status = Status::kInfeasible;
+          return finish(result, warm, stats);
+        }
+      }
+      // Fix artificials at zero for phase 2 (cheaper than expelling them:
+      // a basic artificial pinned at value ~0 can leave but never grow).
+      for (std::size_t j = art_begin_; j < n_total_; ++j) {
+        ub_[j] = 0.0;
+        if (state_[j] == VarState::kNonbasicUpper)
+          state_[j] = VarState::kNonbasicLower;
+      }
+    }
+
+    // Phase 2: minimize the real objective.
+    cost_ = obj_;
+    const Status st = iterate(/*phase1=*/false);
+    result.status = st;
+    if (st != Status::kOptimal) return finish(result, warm, stats);
+
+    extract(result);
+    if (warm)
+      warm->store(n_struct_, n_total_, row_signature_, state_, basis_);
+    return finish(result, warm, stats);
+  }
+
+  bool singular() const noexcept { return singular_; }
+  bool warm_started() const noexcept { return stats_.warm_start_used; }
+
+ private:
+  // --- basis representation -------------------------------------------------
+
+  void ftran(std::vector<double>& v) const {
+    for (const Eta& e : etas_) {
+      const double t = v[e.pivot_row];
+      if (t == 0.0) continue;
+      v[e.pivot_row] = e.pivot_value * t;
+      for (const auto& [i, val] : e.entries) v[i] += val * t;
+    }
+  }
+
+  void btran(std::vector<double>& v) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const Eta& e = *it;
+      double acc = e.pivot_value * v[e.pivot_row];
+      for (const auto& [i, val] : e.entries) acc += val * v[i];
+      v[e.pivot_row] = acc;
+    }
+  }
+
+  void push_eta(std::uint32_t r, const std::vector<double>& w) {
+    Eta e;
+    e.pivot_row = r;
+    e.pivot_value = 1.0 / w[r];
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double val = -w[i] * e.pivot_value;
+      if (std::abs(val) > kEtaDrop)
+        e.entries.emplace_back(static_cast<std::uint32_t>(i), val);
+    }
+    // An exact identity eta (unit column re-entering its own row) is a
+    // no-op for FTRAN and BTRAN alike: keep the file short.
+    if (e.pivot_value == 1.0 && e.entries.empty()) return;
+    etas_.push_back(std::move(e));
+  }
+
+  /// Rebuilds the eta file for the current basis set from scratch via
+  /// Gauss-Jordan on the basis columns (each column "re-enters" on the
+  /// largest-magnitude unassigned row, which may permute the row
+  /// assignment). Returns false when the basis is numerically singular.
+  bool refactorize() {
+    ++stats_.refactorizations;
+    std::vector<std::uint32_t> cols = basis_;
+    // Sparsest columns first: basic slacks/artificials are unit vectors and
+    // yield trivial (often skippable) etas, so the fill-in from structural
+    // columns stays contained — the difference between O(m^3) and roughly
+    // O(m * fill) rebuilds on the TE LPs, where most basics are slacks.
+    std::stable_sort(cols.begin(), cols.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return A_.col_rows(a).size() < A_.col_rows(b).size();
+                     });
+    etas_.clear();
+    std::vector<bool> row_used(m_, false);
+    std::vector<double> w(m_, 0.0);
+    for (const std::uint32_t c : cols) {
+      A_.scatter_col(c, w);
+      ftran(w);
+      std::size_t r = m_;
+      double best = kSingularTol;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (row_used[i]) continue;
+        const double a = std::abs(w[i]);
+        if (a > best) {
+          best = a;
+          r = i;
+        }
+      }
+      if (r == m_) return false;
+      push_eta(static_cast<std::uint32_t>(r), w);
+      row_used[r] = true;
+      basis_[r] = c;
+    }
+    pivots_since_refactor_ = 0;
+    return true;
+  }
+
+  /// beta = B^{-1} (b - sum of at-upper nonbasic columns at their bound).
+  void compute_beta() {
+    std::vector<double> v = b_;
+    for (std::size_t j = 0; j < n_total_; ++j)
+      if (state_[j] == VarState::kNonbasicUpper && ub_[j] > 0.0)
+        A_.add_col_times(j, -ub_[j], v);
+    ftran(v);
+    beta_ = std::move(v);
+  }
+
+  // --- start bases ----------------------------------------------------------
+
+  void cold_init() {
+    stats_.warm_start_used = false;
+    for (std::size_t j = art_begin_; j < n_total_; ++j) ub_[j] = kInfinity;
+    state_.assign(n_total_, VarState::kNonbasicLower);
+    basis_ = init_basis_;
+    for (const std::uint32_t c : basis_) state_[c] = VarState::kBasic;
+    etas_.clear();
+    pivots_since_refactor_ = 0;
+    beta_ = b_;  // all nonbasics at zero, initial basis is the identity
+  }
+
+  bool try_warm_start(WarmStart* warm) {
+    if (!warm || !opt_.use_warm_start || !warm->has_basis()) return false;
+    // Probing costs a refactorization; back off when the handle keeps
+    // missing (bursty traces whose bases never transfer).
+    if (!warm->should_attempt()) return false;
+    stats_.warm_start_attempted = true;
+    auto reject = [&] {
+      warm->record_miss();
+      return false;
+    };
+    if (!warm->compatible(n_struct_, n_total_, row_signature_))
+      return reject();
+    if (warm->basis().size() != m_ || warm->state().size() != n_total_)
+      return reject();
+
+    state_ = warm->state();
+    basis_ = warm->basis();
+    std::size_t basics = 0;
+    for (std::size_t j = 0; j < n_total_; ++j)
+      if (state_[j] == VarState::kBasic) ++basics;
+    if (basics != m_) return reject();
+    for (const std::uint32_t c : basis_)
+      if (c >= n_total_ || state_[c] != VarState::kBasic) return reject();
+
+    // Warm starts jump straight to phase 2: artificials stay fixed at zero.
+    for (std::size_t j = art_begin_; j < n_total_; ++j) ub_[j] = 0.0;
+    // Repair statuses invalidated by bound changes (at-upper needs finite ub).
+    for (std::size_t j = 0; j < n_total_; ++j)
+      if (state_[j] == VarState::kNonbasicUpper && !(ub_[j] < kInfinity))
+        state_[j] = VarState::kNonbasicLower;
+
+    etas_.clear();
+    if (!refactorize()) return reject();
+    compute_beta();
+    const double feas = opt_.simplex.feasibility_tolerance;
+    for (std::size_t i = 0; i < m_; ++i)
+      if (beta_[i] < -feas || beta_[i] > ub_[basis_[i]] + feas)
+        return reject();
+    warm->record_hit();
+    stats_.warm_start_used = true;
+    return true;
+  }
+
+  // --- the simplex loop -----------------------------------------------------
+
+  Status iterate(bool phase1) {
+    const double piv_tol = opt_.simplex.pivot_tolerance;
+    std::vector<double> y(m_, 0.0);
+    std::vector<double> w(m_, 0.0);
+    for (;;) {
+      if (iterations_ >= opt_.simplex.max_iterations)
+        return Status::kIterationLimit;
+      const bool bland = iterations_ >= opt_.simplex.bland_after;
+
+      // Pricing: y = c_B' B^{-1} (BTRAN), then reduced costs column by
+      // column against the untouched CSC matrix — O(nnz) per pass.
+      for (std::size_t i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
+      btran(y);
+      const std::size_t limit = phase1 ? n_total_ : art_begin_;
+      std::size_t enter = n_total_;
+      double best = piv_tol;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (state_[j] == VarState::kBasic) continue;
+        if (ub_[j] == 0.0) continue;  // fixed variable can never move
+        const double d = cost_[j] - A_.dot_col(j, y);
+        const double viol = state_[j] == VarState::kNonbasicLower ? -d : d;
+        if (viol > best) {
+          best = viol;
+          enter = j;
+          if (bland) break;  // first violating index (columns scanned in order)
+        }
+      }
+      if (enter == n_total_) {
+        // Verify apparent optimality against a freshly rebuilt inverse: eta
+        // drift can both hide and fabricate violating columns.
+        if (pivots_since_refactor_ > 0) {
+          if (!refactorize()) {
+            singular_ = true;
+            stats_.singular_basis = true;
+            return Status::kIterationLimit;
+          }
+          compute_beta();
+          continue;
+        }
+        return Status::kOptimal;
+      }
+
+      // FTRAN the entering column; dir = +1 leaving its lower bound,
+      // -1 descending from its upper bound.
+      A_.scatter_col(enter, w);
+      ftran(w);
+      const bool from_lower = state_[enter] == VarState::kNonbasicLower;
+      const double dir = from_lower ? 1.0 : -1.0;
+
+      // Ratio test over both bounds of every basic variable plus the
+      // entering variable's own opposite bound (a bound flip, no pivot).
+      double t_best = ub_[enter];  // may be infinite
+      std::size_t leave = m_;
+      bool leave_upper = false;
+      double leave_abs = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double delta = dir * w[i];
+        if (delta > piv_tol) {
+          // beta_i decreases: blocks at zero.
+          const double t = std::max(beta_[i], 0.0) / delta;
+          if (t < t_best - 1e-12 ||
+              (t < t_best + 1e-12 && leave != m_ &&
+               (bland ? basis_[i] < basis_[leave]
+                      : std::abs(w[i]) > leave_abs))) {
+            t_best = t;
+            leave = i;
+            leave_upper = false;
+            leave_abs = std::abs(w[i]);
+          }
+        } else if (delta < -piv_tol) {
+          // beta_i increases: blocks at its upper bound, if finite.
+          const double u = ub_[basis_[i]];
+          if (u < kInfinity) {
+            const double t =
+                std::max(u - std::min(beta_[i], u), 0.0) / (-delta);
+            if (t < t_best - 1e-12 ||
+                (t < t_best + 1e-12 && leave != m_ &&
+                 (bland ? basis_[i] < basis_[leave]
+                        : std::abs(w[i]) > leave_abs))) {
+              t_best = t;
+              leave = i;
+              leave_upper = true;
+              leave_abs = std::abs(w[i]);
+            }
+          }
+        }
+      }
+
+      if (leave == m_) {
+        if (!(t_best < kInfinity)) return Status::kUnbounded;
+        // Bound flip: the entering variable crosses to its other bound.
+        for (std::size_t i = 0; i < m_; ++i) beta_[i] -= dir * t_best * w[i];
+        state_[enter] = from_lower ? VarState::kNonbasicUpper
+                                   : VarState::kNonbasicLower;
+        ++iterations_;
+        ++stats_.pivots;
+        continue;
+      }
+
+      // Pivot: update basic values, swap statuses, append one eta.
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == leave) continue;
+        beta_[i] -= dir * t_best * w[i];
+        if (beta_[i] < 0.0 && beta_[i] > -1e-11) beta_[i] = 0.0;
+      }
+      const std::uint32_t out = basis_[leave];
+      state_[out] = leave_upper ? VarState::kNonbasicUpper
+                                : VarState::kNonbasicLower;
+      beta_[leave] = from_lower ? t_best : ub_[enter] - t_best;
+      if (beta_[leave] < 0.0 && beta_[leave] > -1e-11) beta_[leave] = 0.0;
+      state_[enter] = VarState::kBasic;
+      basis_[leave] = static_cast<std::uint32_t>(enter);
+      push_eta(static_cast<std::uint32_t>(leave), w);
+      ++iterations_;
+      ++stats_.pivots;
+      ++pivots_since_refactor_;
+
+      if (pivots_since_refactor_ >= opt_.refactor_interval) {
+        if (!refactorize()) {
+          singular_ = true;
+          stats_.singular_basis = true;
+          return Status::kIterationLimit;
+        }
+        compute_beta();
+      }
+    }
+  }
+
+  // --- results --------------------------------------------------------------
+
+  void extract(LpResult& result) {
+    result.x.assign(n_struct_, 0.0);
+    std::vector<std::size_t> row_of(n_total_, m_);
+    for (std::size_t i = 0; i < m_; ++i) row_of[basis_[i]] = i;
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      double v = 0.0;
+      switch (state_[j]) {
+        case VarState::kBasic:
+          v = beta_[row_of[j]];
+          break;
+        case VarState::kNonbasicUpper:
+          v = ub_[j];
+          break;
+        case VarState::kNonbasicLower:
+          break;
+      }
+      v = std::max(v, 0.0);
+      if (ub_[j] < kInfinity) v = std::min(v, ub_[j]);
+      result.x[j] = v;
+    }
+    double z = 0.0;
+    for (std::size_t j = 0; j < n_struct_; ++j) z += obj_[j] * result.x[j];
+    result.objective = z;
+
+    // Duals: y' = c_B' B^{-1} in the normalized row space, then undo the
+    // rhs-sign normalization per row.
+    std::vector<double> y(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) y[i] = obj_[basis_[i]];
+    btran(y);
+    result.y.assign(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i)
+      result.y[i] = negated_[i] ? -y[i] : y[i];
+  }
+
+  LpResult finish(LpResult& result, WarmStart*, SolveStats* stats) {
+    result.iterations = iterations_;
+    if (stats) *stats = stats_;
+    return std::move(result);
+  }
+
+  SolverOptions opt_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t m_ = 0;
+  SparseMatrix A_;
+  std::vector<double> b_;
+  std::vector<bool> negated_;
+  std::vector<double> ub_;
+  std::vector<double> obj_;
+  std::vector<double> cost_;
+  std::vector<std::uint32_t> init_basis_;
+  std::uint64_t row_signature_ = 0;
+
+  std::vector<WarmStart::VarState> state_;
+  std::vector<std::uint32_t> basis_;
+  std::vector<double> beta_;
+  std::vector<Eta> etas_;
+  std::size_t pivots_since_refactor_ = 0;
+  std::size_t iterations_ = 0;
+  bool singular_ = false;
+  SolveStats stats_;
+};
+
+}  // namespace
+
+LpResult solve_revised(const LpProblem& problem, const SolverOptions& options,
+                       WarmStart* warm, SolveStats* stats) {
+  RevisedSimplex simplex(problem, options);
+  SolveStats first;
+  LpResult result = simplex.run(warm, &first);
+  if (simplex.singular() && simplex.warm_started()) {
+    // A warm basis that refactorized cleanly but collapsed mid-solve: retry
+    // cold once — correctness must never depend on the warm path.
+    SolverOptions cold = options;
+    cold.use_warm_start = false;
+    RevisedSimplex cold_simplex(problem, cold);
+    SolveStats retry;
+    result = cold_simplex.run(warm, &retry);
+    // The abandoned warm run's work still happened: report the total, and
+    // reclassify the already-recorded hit — the solve finished cold.
+    first.pivots += retry.pivots;
+    first.refactorizations += retry.refactorizations;
+    first.warm_start_used = false;
+    first.singular_basis = retry.singular_basis;  // the warm collapse was recovered
+    if (warm) warm->demote_hit_to_miss();
+  }
+  if (stats) *stats = first;
+  return result;
+}
+
+LpResult solve_with(const LpProblem& problem, const SolverOptions& options,
+                    WarmStart* warm, SolveStats* stats) {
+  if (options.engine == Engine::kDenseTableau) {
+    LpResult result = solve(problem, options.simplex);
+    if (stats) {
+      *stats = SolveStats{};
+      stats->pivots = result.iterations;
+    }
+    return result;
+  }
+  return solve_revised(problem, options, warm, stats);
+}
+
+}  // namespace figret::lp

@@ -1,0 +1,69 @@
+// Sparse revised primal simplex with a product-form-of-the-inverse basis.
+//
+// Drop-in second engine behind the LpProblem/Status/LpResult API of
+// lp/simplex.h. Differences from the dense tableau oracle:
+//  * the constraint matrix is stored once in CSC (lp/sparse.h) and never
+//    modified — pricing is O(nnz), not O(rows * cols);
+//  * the basis inverse is an eta file (product form of the inverse): each
+//    pivot appends one elementary eta matrix, and FTRAN/BTRAN apply the file
+//    forward/backward. The file is rebuilt from scratch (refactorization)
+//    every `refactor_interval` pivots to bound numerical drift and length;
+//  * variable upper bounds are handled natively: nonbasic variables rest at
+//    either bound, the ratio test caps steps at both bounds, and bound flips
+//    cost no eta;
+//  * an optimal basis can be captured in a WarmStart handle and re-primed
+//    into the next solve when only the numbers (objective / RHS / bounds /
+//    coefficients) changed — see lp/warm_start.h.
+//
+// Pricing is Dantzig (most violating reduced cost) with an automatic switch
+// to Bland's rule after `SolveOptions::bland_after` pivots, mirroring the
+// dense engine's anti-cycling contract.
+#pragma once
+
+#include "lp/simplex.h"
+#include "lp/warm_start.h"
+
+namespace figret::lp {
+
+enum class Engine {
+  kDenseTableau,   // lp/simplex.cpp — the reference oracle
+  kRevisedSparse,  // this file
+};
+
+/// Engine selection plus engine-specific knobs, shared by all LP call sites.
+struct SolverOptions {
+  Engine engine = Engine::kRevisedSparse;
+  /// Pivot caps and tolerances (shared meaning across engines).
+  SolveOptions simplex;
+  /// Revised engine: pivots between eta-file rebuilds.
+  std::size_t refactor_interval = 96;
+  /// Revised engine: honor a WarmStart handle when one is passed.
+  bool use_warm_start = true;
+};
+
+/// Per-solve observability (pivot counts for Table-2-style benches).
+struct SolveStats {
+  std::size_t pivots = 0;
+  std::size_t refactorizations = 0;
+  bool warm_start_attempted = false;
+  /// The warm basis was accepted (refactorized cleanly and primal feasible).
+  bool warm_start_used = false;
+  /// A refactorization found the basis numerically singular mid-solve. The
+  /// solve then reports kIterationLimit (the conservative verdict — there is
+  /// no dedicated Status for numerical failure yet); this flag tells the
+  /// caller that raising the pivot budget will not help.
+  bool singular_basis = false;
+};
+
+/// Revised-simplex solve. `warm` (optional, in/out) re-primes this solve and
+/// captures the optimal basis for the next one; `stats` (optional, out)
+/// reports pivot/refactorization counts.
+LpResult solve_revised(const LpProblem& problem, const SolverOptions& options,
+                       WarmStart* warm = nullptr, SolveStats* stats = nullptr);
+
+/// Engine dispatch: dense oracle or revised sparse per `options.engine`.
+/// The dense engine ignores `warm` (it has no basis representation to prime).
+LpResult solve_with(const LpProblem& problem, const SolverOptions& options = {},
+                    WarmStart* warm = nullptr, SolveStats* stats = nullptr);
+
+}  // namespace figret::lp

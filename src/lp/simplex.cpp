@@ -32,6 +32,20 @@ void LpProblem::set_upper_bound(std::size_t var, double upper) {
   ub_.at(var) = upper;
 }
 
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kUnbounded:
+      return "unbounded";
+    case Status::kIterationLimit:
+      return "iteration limit";
+  }
+  return "unknown";
+}
+
 namespace {
 
 // Dense bounded-variable two-phase simplex working state.
@@ -94,22 +108,28 @@ class Simplex {
 
     std::size_t slack = n;
     std::size_t art = art_begin_;
+    dual_col_.assign(m_, 0);
+    negated_.assign(m_, false);
     for (std::size_t i = 0; i < m_; ++i) {
       const auto& row = rows[i];
       for (const auto& t : row.terms) at(i, t.var) += t.coeff;
       b_[i] = row.rhs;
+      negated_[i] = p.rows()[i].rhs < 0.0;  // normalization negated this row
       switch (row.rel) {
         case Relation::kLessEq:
           at(i, slack) = 1.0;
+          dual_col_[i] = slack;  // the +e_i unit column for dual recovery
           set_basis(i, slack++);
           break;
         case Relation::kGreaterEq:
           at(i, slack++) = -1.0;
           at(i, art) = 1.0;
+          dual_col_[i] = art;
           set_basis(i, art++);
           break;
         case Relation::kEq:
           at(i, art) = 1.0;
+          dual_col_[i] = art;
           set_basis(i, art++);
           break;
       }
@@ -165,6 +185,15 @@ class Simplex {
     for (std::size_t i = 0; i < m_; ++i) value[basis_[i]] = b_[i];
     for (std::size_t j = 0; j < n_struct_; ++j)
       result.x[j] = flipped_[j] ? ub_[j] - value[j] : value[j];
+
+    // Duals from the final reduced-cost row: each row's +e_i unit column
+    // (slack or artificial, never flipped — both have infinite upper bound)
+    // carries reduced cost 0 - y_i; undo the rhs-sign normalization.
+    result.y.assign(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double yi = -cost_[dual_col_[i]];
+      result.y[i] = negated_[i] ? -yi : yi;
+    }
     return result;
   }
 
@@ -348,6 +377,8 @@ class Simplex {
   std::vector<double> cost_;
   std::vector<double> obj_;
   std::vector<std::size_t> basis_;
+  std::vector<std::size_t> dual_col_;
+  std::vector<bool> negated_;
   std::vector<double> ub_;
   std::vector<bool> flipped_;
   std::vector<bool> in_basis_;

@@ -27,6 +27,9 @@ enum class Relation { kLessEq, kEq, kGreaterEq };
 
 enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
+/// Human-readable status name, for error messages surfaced by callers.
+const char* to_string(Status status) noexcept;
+
 /// One nonzero coefficient of a constraint row.
 struct Term {
   std::size_t var = 0;
@@ -79,6 +82,13 @@ struct LpResult {
   Status status = Status::kIterationLimit;
   double objective = 0.0;
   std::vector<double> x;
+  /// Dual value per constraint row, populated only when optimal. Sign
+  /// convention for the min problem: kLessEq rows have y <= 0, kGreaterEq
+  /// rows y >= 0, kEq rows free; the reduced cost c_j - y'a_j is >= 0 for
+  /// variables at their lower bound and <= 0 at their upper bound. Together
+  /// with `x` this forms the strong-duality certificate that
+  /// lp/certificates.h verifies.
+  std::vector<double> y;
   std::size_t iterations = 0;
 
   bool optimal() const noexcept { return status == Status::kOptimal; }

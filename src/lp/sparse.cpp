@@ -1,0 +1,71 @@
+#include "lp/sparse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace figret::lp {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets)
+    if (t.row >= rows || t.col >= cols)
+      throw std::out_of_range("SparseMatrix: triplet outside matrix shape");
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.col != b.col ? a.col < b.col : a.row < b.row;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.col_ptr_.assign(cols + 1, 0);
+  m.row_index_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    while (i < triplets.size() && triplets[i].col == j) {
+      double v = triplets[i].value;
+      const std::uint32_t r = triplets[i].row;
+      ++i;
+      while (i < triplets.size() && triplets[i].col == j &&
+             triplets[i].row == r) {
+        v += triplets[i].value;  // accumulate duplicates
+        ++i;
+      }
+      if (v != 0.0) {
+        m.row_index_.push_back(r);
+        m.values_.push_back(v);
+      }
+    }
+    m.col_ptr_[j + 1] = m.values_.size();
+  }
+  return m;
+}
+
+void SparseMatrix::add_col_times(std::size_t j, double scale,
+                                 std::vector<double>& dense) const {
+  const auto rows = col_rows(j);
+  const auto vals = col_values(j);
+  for (std::size_t k = 0; k < rows.size(); ++k)
+    dense[rows[k]] += scale * vals[k];
+}
+
+void SparseMatrix::scatter_col(std::size_t j,
+                               std::vector<double>& dense) const {
+  dense.assign(rows_, 0.0);
+  const auto rows = col_rows(j);
+  const auto vals = col_values(j);
+  for (std::size_t k = 0; k < rows.size(); ++k) dense[rows[k]] = vals[k];
+}
+
+double SparseMatrix::dot_col(std::size_t j, const std::vector<double>& y)
+    const {
+  const auto rows = col_rows(j);
+  const auto vals = col_values(j);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < rows.size(); ++k) acc += vals[k] * y[rows[k]];
+  return acc;
+}
+
+}  // namespace figret::lp

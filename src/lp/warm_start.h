@@ -1,0 +1,105 @@
+// Warm-start handle for the revised simplex.
+//
+// Consecutive TE snapshots produce LPs with the same rows and variables and
+// only different numbers (demand coefficients, RHS, bounds, objective). The
+// optimal basis of snapshot t is almost always primal feasible — and nearly
+// optimal — for snapshot t+1, so re-priming the next solve from it skips
+// phase 1 entirely and usually needs a handful of pivots instead of hundreds.
+//
+// The handle stores the column-status vector and the basis (row -> column)
+// of the last optimal solve, plus a structural signature (variable count,
+// row count, normalized relation pattern). A solve offered a handle with a
+// matching signature refactorizes the stored basis against the *new* matrix
+// and verifies primal feasibility; any mismatch, singular basis, or
+// infeasibility falls back to a cold two-phase start, so warm starts can
+// never change which LP is solved — only how fast.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace figret::lp {
+
+class WarmStart {
+ public:
+  /// Per-column simplex status, stored for structural + logical columns.
+  enum class VarState : std::uint8_t {
+    kNonbasicLower = 0,
+    kNonbasicUpper = 1,
+    kBasic = 2,
+  };
+
+  bool has_basis() const noexcept { return !basis_.empty(); }
+  void clear();
+
+  /// Solves warm-started from this handle since the last clear().
+  std::size_t hits() const noexcept { return hits_; }
+  /// Solves that fell back to a cold start (mismatch/singular/infeasible).
+  std::size_t misses() const noexcept { return misses_; }
+
+  /// Deterministic attempt throttle. Probing a warm basis costs one
+  /// refactorization while a hit saves an order of magnitude more pivot
+  /// work, so probing stays on as long as the handle earns any hits; only a
+  /// persistent near-zero hit rate (bursty DC traces whose bases never
+  /// transfer) triggers a back-off, with a re-probe every eighth solve in
+  /// case the trace calms down. Mutates the skip counter: call once per
+  /// solve.
+  bool should_attempt() noexcept;
+
+  // --- engine interface (used by solve_revised) -----------------------------
+
+  /// True when the stored basis belongs to an LP with this shape.
+  bool compatible(std::size_t num_vars, std::size_t num_cols,
+                  std::uint64_t row_signature) const noexcept;
+
+  void store(std::size_t num_vars, std::size_t num_cols,
+             std::uint64_t row_signature, std::vector<VarState> state,
+             std::vector<std::uint32_t> basis);
+
+  const std::vector<VarState>& state() const noexcept { return state_; }
+  const std::vector<std::uint32_t>& basis() const noexcept { return basis_; }
+
+  void record_hit() noexcept {
+    ++hits_;
+    ++recent_hits_;
+    decay_window();
+  }
+  void record_miss() noexcept {
+    ++misses_;
+    ++recent_misses_;
+    decay_window();
+  }
+  /// A warm start that was accepted but collapsed mid-solve (singular basis)
+  /// ultimately ran cold: reclassify it so hits() reports only solves that
+  /// genuinely finished from the warm basis.
+  void demote_hit_to_miss() noexcept {
+    if (hits_ > 0) --hits_;
+    if (recent_hits_ > 0) --recent_hits_;
+    record_miss();
+  }
+
+ private:
+  /// Exponentially ages the throttle window so a regime change (calm trace
+  /// turning bursty or vice versa) re-decides within ~64 solves instead of
+  /// being outvoted by the handle's whole lifetime. The public hits()/
+  /// misses() totals are never decayed — they stay exact for reporting.
+  void decay_window() noexcept {
+    if (recent_hits_ + recent_misses_ >= 64) {
+      recent_hits_ /= 2;
+      recent_misses_ /= 2;
+    }
+  }
+  std::size_t num_vars_ = 0;
+  std::size_t num_cols_ = 0;
+  std::uint64_t row_signature_ = 0;
+  std::vector<VarState> state_;
+  std::vector<std::uint32_t> basis_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t recent_hits_ = 0;
+  std::size_t recent_misses_ = 0;
+  std::size_t skips_since_attempt_ = 0;
+};
+
+}  // namespace figret::lp

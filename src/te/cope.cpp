@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
-#include "lp/simplex.h"
 #include "te/hose.h"
 
 namespace figret::te {
@@ -86,7 +86,16 @@ CopeResult solve_cope(const PathSet& ps, const traffic::TrafficTrace& train,
     for (const auto& dm : predicted) add_edge_rows(dm, /*envelope_rhs=*/false);
     for (const auto& dm : hose_cuts) add_edge_rows(dm, /*envelope_rhs=*/true);
 
-    const lp::LpResult sol = lp::solve(prob);
+    // No warm-start handle: every continuing round appends cut rows, so the
+    // structural signature never repeats and a primal warm basis can never
+    // re-prime. RHS/row-growth re-use needs the dual simplex (ROADMAP).
+    const lp::LpResult sol = lp::solve_with(prob, options.solver);
+    if (sol.status == lp::Status::kIterationLimit ||
+        sol.status == lp::Status::kUnbounded)
+      // A truncated master proves nothing — surfacing it beats silently
+      // keeping the previous round's configuration.
+      throw std::runtime_error(std::string("solve_cope: master LP status: ") +
+                               lp::to_string(sol.status));
     if (!sol.optimal()) break;  // envelope too tight: keep last config
     for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
       result.config[pid] = sol.x[var[pid]];
@@ -104,7 +113,8 @@ CopeResult solve_cope(const PathSet& ps, const traffic::TrafficTrace& train,
         scan_complete = false;
         break;
       }
-      auto [util, dm] = worst_demand_for_edge(ps, result.config, hose, e);
+      auto [util, dm] =
+          worst_demand_for_edge(ps, result.config, hose, e, &options.solver);
       if (util > worst) {
         worst = util;
         worst_dm = std::move(dm);

@@ -1,5 +1,6 @@
 #include "te/harness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -43,17 +44,37 @@ traffic::TrafficTrace Harness::train_trace() const {
 std::vector<double> Harness::omniscient_for_alive(
     const std::vector<bool>* alive) {
   // The dominant cost of a full evaluation (Fig 5 / Table 2): one LP per
-  // evaluated snapshot. Solves are independent, so each lands in its own
-  // slot and the assembled vector is bit-identical to the serial loop.
-  std::vector<double> out(eval_indices_.size(), 0.0);
+  // evaluated snapshot. Consecutive snapshots share constraint structure, so
+  // the sweep is split into fixed chunks of `warm_chunk` snapshots, each a
+  // serial chain through its own lp::WarmStart handle (the previous optimal
+  // basis re-primes the next solve). Chunk boundaries depend only on
+  // warm_chunk, so any execution width assembles the bit-identical vector.
+  const std::size_t n = eval_indices_.size();
+  std::vector<double> out(n, 0.0);
+  // A chunk is both one warm chain and one unit of parallelism: cap its
+  // size so at least ~32 chunks exist (short sweeps degrade to chunk = 1,
+  // i.e. full per-snapshot parallelism and no chaining). Depends only on
+  // warm_chunk and n, never on the execution width.
+  const bool chain = opt_.warm_chunk > 0;
+  std::size_t chunk = chain ? opt_.warm_chunk : 1;
+  chunk = std::max<std::size_t>(1, std::min(chunk, n / 32));
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
   util::parallel_for(
-      0, eval_indices_.size(),
-      [&](std::size_t i) {
-        const std::size_t t = eval_indices_[i];
-        const MluLpResult res = solve_mlu_lp(*ps_, trace_[t], nullptr, alive);
-        if (!res.optimal)
-          throw std::runtime_error("Harness: omniscient LP failed");
-        out[i] = res.mlu;
+      0, n_chunks,
+      [&](std::size_t c) {
+        lp::WarmStart warm;
+        lp::WarmStart* handle = chain ? &warm : nullptr;
+        const std::size_t end = std::min(n, (c + 1) * chunk);
+        for (std::size_t i = c * chunk; i < end; ++i) {
+          const std::size_t t = eval_indices_[i];
+          const MluLpResult res = solve_mlu_lp(*ps_, trace_[t], nullptr,
+                                               alive, &opt_.solver, handle);
+          if (!res.optimal())
+            throw std::runtime_error(
+                std::string("Harness: omniscient LP failed (status: ") +
+                lp::to_string(res.status) + ")");
+          out[i] = res.mlu;
+        }
       },
       opt_.threads);
   return out;

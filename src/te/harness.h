@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/revised_simplex.h"
 #include "te/failover.h"
 #include "te/pathset.h"
 #include "te/scheme.h"
@@ -46,9 +47,22 @@ class Harness {
     std::size_t max_window = 16;
     /// Execution width for per-snapshot work (omniscient LP solves and MLU
     /// evaluation): 0 = the process-wide pool (FIGRET_THREADS / hardware),
-    /// 1 = serial reference mode. Results are bit-identical either way: each
-    /// snapshot's solve is independent and lands in its own output slot.
+    /// 1 = serial reference mode. Results are bit-identical either way: MLU
+    /// scoring is independent per snapshot, and the omniscient LP solves are
+    /// chained only within fixed `warm_chunk` chunks whose boundaries never
+    /// depend on the execution width.
     std::size_t threads = 0;
+    /// LP engine for the omniscient-normalizer solves (defaults to the
+    /// sparse revised simplex; set engine = kDenseTableau for the oracle).
+    lp::SolverOptions solver;
+    /// Upper bound on consecutive snapshots chained through one
+    /// lp::WarmStart handle. Chaining serializes solves within a chunk, so
+    /// the effective chunk shrinks on short sweeps to keep at least ~32
+    /// independent chunks available to the thread pool (a chunk is the unit
+    /// of parallelism). Chunk boundaries depend only on this value and the
+    /// eval count — never on `threads` — so serial and pooled runs stay
+    /// bit-identical. 0 disables warm-start chaining entirely.
+    std::size_t warm_chunk = 8;
   };
 
   Harness(const PathSet& ps, traffic::TrafficTrace trace);

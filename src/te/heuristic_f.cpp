@@ -60,9 +60,11 @@ TeConfig HeuristicFTe::advise(
     for (std::size_t p = 0; p < peak.size(); ++p)
       peak[p] = std::max(peak[p], dm[p]);
 
-  const MluLpResult res = solve_mlu_lp(*ps_, peak, &caps_);
-  if (!res.optimal)
-    throw std::runtime_error("HeuristicFTe: LP did not reach optimality");
+  const MluLpResult res =
+      solve_mlu_lp(*ps_, peak, &caps_, nullptr, &opt_.solver, &warm_);
+  if (!res.optimal())
+    throw std::runtime_error(std::string("HeuristicFTe: LP status: ") +
+                             lp::to_string(res.status));
   return normalize_config(*ps_, res.config);
 }
 

@@ -7,6 +7,7 @@
 // a stable/bursty breakpoint (Fig 11, Table 8).
 #pragma once
 
+#include "lp/revised_simplex.h"
 #include "te/scheme.h"
 
 namespace figret::te {
@@ -25,6 +26,8 @@ struct HeuristicFOptions {
   double breakpoint = 0.8;
   /// Peak window for the anticipated matrix (as in Desensitization TE).
   std::size_t peak_window = 12;
+  /// LP engine for the per-advise solve (warm-started across snapshots).
+  lp::SolverOptions solver;
 };
 
 /// Desensitization TE with a variance-rank-dependent sensitivity bound.
@@ -47,6 +50,7 @@ class HeuristicFTe final : public TeScheme {
   std::string name_;
   std::vector<double> f_;
   std::vector<double> caps_;
+  lp::WarmStart warm_;
 };
 
 }  // namespace figret::te

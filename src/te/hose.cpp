@@ -1,8 +1,8 @@
 #include "te/hose.h"
 
 #include <algorithm>
-
-#include "lp/simplex.h"
+#include <stdexcept>
+#include <string>
 
 namespace figret::te {
 
@@ -35,7 +35,7 @@ HoseBounds hose_bounds(const PathSet& ps, double scale) {
 
 std::pair<double, traffic::DemandMatrix> worst_demand_for_edge(
     const PathSet& ps, const TeConfig& r, const HoseBounds& hose,
-    net::EdgeId e) {
+    net::EdgeId e, const lp::SolverOptions* solver) {
   // Edge-load coefficient per pair: sum of ratios of this pair's paths
   // crossing e.
   std::vector<double> coeff(ps.num_pairs(), 0.0);
@@ -73,8 +73,15 @@ std::pair<double, traffic::DemandMatrix> worst_demand_for_edge(
 
   traffic::DemandMatrix dm(ps.num_nodes());
   if (prob.num_variables() == 0) return {0.0, dm};
-  const lp::LpResult sol = lp::solve(prob);
-  if (!sol.optimal()) return {0.0, dm};
+  const lp::LpResult sol =
+      lp::solve_with(prob, solver ? *solver : lp::SolverOptions{});
+  if (!sol.optimal())
+    // This LP is feasible (zero demand) and bounded (every variable sits in
+    // a finite hose row), so failure means a truncated solve; reporting 0
+    // here could let a cutting-plane scan certify a false convergence.
+    throw std::runtime_error(
+        std::string("worst_demand_for_edge: adversary LP status: ") +
+        lp::to_string(sol.status));
   for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr)
     if (var[pr] != kUnused) dm[pr] = sol.x[var[pr]];
   const double load = -sol.objective;

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "lp/simplex.h"
-
 namespace figret::te {
 
-MluLpResult solve_mlu_lp(const PathSet& ps,
-                         const traffic::DemandMatrix& demand,
-                         const std::vector<double>* ratio_cap,
-                         const std::vector<bool>* alive) {
+lp::LpProblem build_mlu_lp(const PathSet& ps,
+                           const traffic::DemandMatrix& demand,
+                           const std::vector<double>* ratio_cap,
+                           const std::vector<bool>* alive,
+                           std::vector<std::size_t>* var_of_path_out) {
   if (demand.size() != ps.num_pairs())
     throw std::invalid_argument("solve_mlu_lp: demand size mismatch");
   if (ratio_cap && ratio_cap->size() != ps.num_paths())
@@ -41,25 +40,49 @@ MluLpResult solve_mlu_lp(const PathSet& ps,
   }
 
   // Capacity: per edge, sum_{p through e} D_sd(p) r_p - U c_e <= 0.
+  // A row is emitted for every edge carrying at least one live path — even
+  // when all its demands are currently zero — so the row structure depends
+  // only on (path set, alive mask), never on the demand values. That keeps
+  // consecutive snapshots signature-compatible for lp::WarmStart re-priming
+  // (sparse DC traces zero out many pairs per snapshot).
   for (net::EdgeId e = 0; e < ps.num_edges(); ++e) {
     std::vector<lp::Term> row;
+    bool has_live_path = false;
     for (std::uint32_t pid : ps.paths_on_edge(e)) {
       if (var_of_path[pid] == kDead) continue;
+      has_live_path = true;
       const double d = demand[ps.pair_of_path(pid)];
       if (d == 0.0) continue;
       row.push_back({var_of_path[pid], d});
     }
-    if (row.empty()) continue;
+    if (!has_live_path) continue;
     row.push_back({u_var, -ps.edge_capacity(e)});
     prob.add_constraint(std::move(row), lp::Relation::kLessEq, 0.0);
   }
+  if (var_of_path_out) *var_of_path_out = std::move(var_of_path);
+  return prob;
+}
 
-  const lp::LpResult sol = lp::solve(prob);
+MluLpResult solve_mlu_lp(const PathSet& ps,
+                         const traffic::DemandMatrix& demand,
+                         const std::vector<double>* ratio_cap,
+                         const std::vector<bool>* alive,
+                         const lp::SolverOptions* solver,
+                         lp::WarmStart* warm) {
+  std::vector<std::size_t> var_of_path;
+  const lp::LpProblem prob =
+      build_mlu_lp(ps, demand, ratio_cap, alive, &var_of_path);
+
+  const lp::SolverOptions opts = solver ? *solver : lp::SolverOptions{};
+  lp::SolveStats stats;
+  const lp::LpResult sol = lp::solve_with(prob, opts, warm, &stats);
   MluLpResult out;
-  out.optimal = sol.optimal();
-  if (!out.optimal) return out;
+  out.status = sol.status;
+  out.pivots = stats.pivots;
+  if (!out.optimal()) return out;
   out.mlu = sol.objective;
   out.config.assign(ps.num_paths(), 0.0);
+  constexpr std::size_t kDead = static_cast<std::size_t>(-1);
   for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
     if (var_of_path[pid] != kDead) out.config[pid] = sol.x[var_of_path[pid]];
   return out;
@@ -93,9 +116,11 @@ TeConfig PredictionTe::advise(
     std::span<const traffic::DemandMatrix> history) {
   if (history.empty())
     throw std::invalid_argument("PredictionTe: empty history");
-  const MluLpResult res = solve_mlu_lp(*ps_, history.back());
-  if (!res.optimal)
-    throw std::runtime_error("PredictionTe: LP did not reach optimality");
+  const MluLpResult res =
+      solve_mlu_lp(*ps_, history.back(), nullptr, nullptr, &solver_, &warm_);
+  if (!res.optimal())
+    throw std::runtime_error(std::string("PredictionTe: LP status: ") +
+                             lp::to_string(res.status));
   return normalize_config(*ps_, res.config);
 }
 
@@ -118,9 +143,11 @@ TeConfig DesensitizationTe::advise(
     for (std::size_t p = 0; p < peak.size(); ++p)
       peak[p] = std::max(peak[p], dm[p]);
 
-  const MluLpResult res = solve_mlu_lp(*ps_, peak, &caps_);
-  if (!res.optimal)
-    throw std::runtime_error("DesensitizationTe: LP did not reach optimality");
+  const MluLpResult res =
+      solve_mlu_lp(*ps_, peak, &caps_, nullptr, &opt_.solver, &warm_);
+  if (!res.optimal())
+    throw std::runtime_error(std::string("DesensitizationTe: LP status: ") +
+                             lp::to_string(res.status));
   return normalize_config(*ps_, res.config);
 }
 
@@ -159,9 +186,11 @@ TeConfig FaultAwareDesTe::advise(
     for (std::size_t p = 0; p < peak.size(); ++p)
       peak[p] = std::max(peak[p], dm[p]);
 
-  const MluLpResult res = solve_mlu_lp(*ps_, peak, &caps_, &alive_);
-  if (!res.optimal)
-    throw std::runtime_error("FaultAwareDesTe: LP did not reach optimality");
+  const MluLpResult res =
+      solve_mlu_lp(*ps_, peak, &caps_, &alive_, &opt_.solver, &warm_);
+  if (!res.optimal())
+    throw std::runtime_error(std::string("FaultAwareDesTe: LP status: ") +
+                             lp::to_string(res.status));
   // Normalize only over live paths (dead paths keep ratio 0).
   TeConfig cfg = res.config;
   for (std::size_t pr = 0; pr < ps_->num_pairs(); ++pr) {

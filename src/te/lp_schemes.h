@@ -4,11 +4,18 @@
 //   * Demand-prediction TE  (LP on the previous snapshot)
 //   * Desensitization TE    (Google Jupiter's "Hedging": LP on the
 //     peak-of-window anticipated matrix with uniform sensitivity caps)
+//
+// Every solve goes through lp::solve_with, so call sites pick the engine
+// (dense tableau oracle vs sparse revised simplex) via lp::SolverOptions and
+// may chain consecutive solves through an lp::WarmStart handle — successive
+// snapshots share the constraint structure, so the previous optimal basis
+// usually re-primes the next solve down to a handful of pivots.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "lp/revised_simplex.h"
 #include "te/scheme.h"
 
 namespace figret::te {
@@ -16,8 +23,24 @@ namespace figret::te {
 struct MluLpResult {
   TeConfig config;
   double mlu = 0.0;
-  bool optimal = false;
+  /// Engine verdict — callers must propagate non-optimal statuses (most
+  /// importantly kIterationLimit) as errors, never use a partial solution.
+  lp::Status status = lp::Status::kIterationLimit;
+  /// Simplex pivots spent on this solve (Table 2 observability).
+  std::size_t pivots = 0;
+
+  bool optimal() const noexcept { return status == lp::Status::kOptimal; }
 };
+
+/// Builds the MLU LP (Appendix B):  min U  over split ratios on the candidate
+/// paths. `var_of_path` (optional out) maps path id -> LP variable index,
+/// with SIZE_MAX for paths excluded by `alive`. Exposed separately from
+/// solve_mlu_lp so tests can verify duality certificates on the real TE LPs.
+lp::LpProblem build_mlu_lp(const PathSet& ps,
+                           const traffic::DemandMatrix& demand,
+                           const std::vector<double>* ratio_cap = nullptr,
+                           const std::vector<bool>* alive = nullptr,
+                           std::vector<std::size_t>* var_of_path = nullptr);
 
 /// Solves  min_R MLU(R, demand)  over the candidate paths (Appendix B).
 ///
@@ -26,10 +49,15 @@ struct MluLpResult {
 ///                entries >= 1 are vacuous and dropped.
 /// `alive`      — optional path mask for fault-aware variants; dead paths
 ///                are excluded entirely (pairs with no live path are skipped).
+/// `solver`     — engine selection/knobs; nullptr uses SolverOptions{} (the
+///                sparse revised simplex).
+/// `warm`       — optional warm-start handle chaining consecutive solves.
 MluLpResult solve_mlu_lp(const PathSet& ps,
                          const traffic::DemandMatrix& demand,
                          const std::vector<double>* ratio_cap = nullptr,
-                         const std::vector<bool>* alive = nullptr);
+                         const std::vector<bool>* alive = nullptr,
+                         const lp::SolverOptions* solver = nullptr,
+                         lp::WarmStart* warm = nullptr);
 
 /// Per-path ratio caps realizing a sensitivity bound: cap_p = F_sd * C_p.
 /// Guarantees per-pair feasibility (sum of caps >= 1) by proportionally
@@ -42,12 +70,16 @@ std::vector<double> sensitivity_caps(const PathSet& ps,
 class PredictionTe final : public TeScheme {
  public:
   explicit PredictionTe(const PathSet& ps) : ps_(&ps) {}
+  PredictionTe(const PathSet& ps, const lp::SolverOptions& solver)
+      : ps_(&ps), solver_(solver) {}
   std::string name() const override { return "PredTE"; }
   void fit(const traffic::TrafficTrace&) override {}
   TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
 
  private:
   const PathSet* ps_;
+  lp::SolverOptions solver_;
+  lp::WarmStart warm_;  // advise() calls chain across snapshots
 };
 
 /// Desensitization-based TE (Google Jupiter [37], COUDER [44]): anticipated
@@ -60,6 +92,8 @@ class DesensitizationTe final : public TeScheme {
     double sensitivity_bound = 2.0 / 3.0;
     /// Peak window length for the anticipated matrix.
     std::size_t peak_window = 12;
+    /// LP engine selection (defaults to the sparse revised simplex).
+    lp::SolverOptions solver;
   };
 
   explicit DesensitizationTe(const PathSet& ps);
@@ -73,6 +107,7 @@ class DesensitizationTe final : public TeScheme {
   const PathSet* ps_;
   Options opt_;
   std::vector<double> caps_;
+  lp::WarmStart warm_;
 };
 
 /// Fault-aware Desensitization TE (§5.3 "FA Des TE"): identical to
@@ -93,6 +128,7 @@ class FaultAwareDesTe final : public TeScheme {
   DesensitizationTe::Options opt_;
   std::vector<bool> alive_;
   std::vector<double> caps_;
+  lp::WarmStart warm_;
 };
 
 }  // namespace figret::te

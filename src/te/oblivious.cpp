@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
-#include "lp/simplex.h"
 #include "te/hose.h"
 
 namespace figret::te {
@@ -15,12 +15,13 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 double worst_case_mlu_hose(const PathSet& ps, const TeConfig& config,
-                           double hose_scale) {
+                           double hose_scale,
+                           const lp::SolverOptions* solver) {
   const HoseBounds hose = hose_bounds(ps, hose_scale);
   double worst = 0.0;
   for (net::EdgeId e = 0; e < ps.num_edges(); ++e)
-    worst =
-        std::max(worst, worst_demand_for_edge(ps, config, hose, e).first);
+    worst = std::max(
+        worst, worst_demand_for_edge(ps, config, hose, e, solver).first);
   return worst;
 }
 
@@ -76,7 +77,17 @@ ObliviousResult solve_oblivious(const PathSet& ps,
         prob.add_constraint(std::move(row), lp::Relation::kLessEq, 0.0);
       }
     }
-    const lp::LpResult sol = lp::solve(prob);
+    // No warm-start handle: every continuing round appends at least one cut
+    // row, so the structural signature never repeats and a primal warm basis
+    // can never re-prime. Row-growth re-use needs the dual simplex (ROADMAP).
+    const lp::LpResult sol = lp::solve_with(prob, options.solver);
+    if (sol.status == lp::Status::kIterationLimit ||
+        sol.status == lp::Status::kUnbounded)
+      // Never fall back to the stale incumbent on a truncated solve: the
+      // partial basis certifies nothing about the cut set.
+      throw std::runtime_error(
+          std::string("solve_oblivious: master LP status: ") +
+          lp::to_string(sol.status));
     if (!sol.optimal()) break;
     for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
       result.config[pid] = sol.x[var[pid]];
@@ -94,7 +105,8 @@ ObliviousResult solve_oblivious(const PathSet& ps,
         scan_complete = false;
         break;
       }
-      auto [util, dm] = worst_demand_for_edge(ps, result.config, hose, e);
+      auto [util, dm] =
+          worst_demand_for_edge(ps, result.config, hose, e, &options.solver);
       if (util > worst) {
         worst = util;
         worst_dm = std::move(dm);

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 
+#include "lp/revised_simplex.h"
 #include "te/scheme.h"
 
 namespace figret::te {
@@ -26,6 +27,9 @@ struct ObliviousOptions {
   double tolerance = 1e-3;
   /// Wall-clock budget in seconds; exceeded => not converged ("Infeasible").
   double time_budget_seconds = 120.0;
+  /// LP engine for the master solves. kIterationLimit from any master solve
+  /// is an error (never a silent fallback to the stale incumbent).
+  lp::SolverOptions solver;
 };
 
 struct ObliviousResult {
@@ -42,9 +46,11 @@ ObliviousResult solve_oblivious(const PathSet& ps,
 
 /// Worst-case MLU of a *given* configuration over the hose polytope
 /// (exact: per-edge transportation LPs). Used by tests and by COPE's
-/// penalty-envelope constraint.
+/// penalty-envelope constraint. `solver` selects the LP engine for the
+/// per-edge adversary solves (nullptr = lp::SolverOptions{}).
 double worst_case_mlu_hose(const PathSet& ps, const TeConfig& config,
-                           double hose_scale = 1.0);
+                           double hose_scale = 1.0,
+                           const lp::SolverOptions* solver = nullptr);
 
 /// Scheme adapter: fit() runs the cutting-plane solve once; advise() returns
 /// the fixed configuration (oblivious routing never adapts to history).

@@ -55,9 +55,11 @@ TeConfig TwoStageTe::advise(std::span<const traffic::DemandMatrix> history) {
     throw std::invalid_argument("TwoStageTe: empty history");
 
   last_prediction_ = predictor_->predict(history);
-  const MluLpResult res = solve_mlu_lp(*ps_, last_prediction_, &caps_);
-  if (!res.optimal)
-    throw std::runtime_error("TwoStageTe: LP did not reach optimality");
+  const MluLpResult res = solve_mlu_lp(*ps_, last_prediction_, &caps_,
+                                       nullptr, &opt_.solver, &warm_);
+  if (!res.optimal())
+    throw std::runtime_error(std::string("TwoStageTe: LP status: ") +
+                             lp::to_string(res.status));
   return normalize_config(*ps_, res.config);
 }
 

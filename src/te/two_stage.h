@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "lp/revised_simplex.h"
 #include "te/scheme.h"
 #include "traffic/predictor.h"
 
@@ -23,6 +24,8 @@ struct TwoStageOptions {
   double max_bound = 2.0 / 3.0;
   double min_bound = 1.0 / 3.0;
   std::size_t window = 12;
+  /// LP engine for the per-advise solve (warm-started across snapshots).
+  lp::SolverOptions solver;
 };
 
 class TwoStageTe final : public TeScheme {
@@ -51,6 +54,7 @@ class TwoStageTe final : public TeScheme {
   TwoStageOptions opt_;
   std::vector<double> caps_;
   traffic::DemandMatrix last_prediction_;
+  lp::WarmStart warm_;  // consecutive advise() solves share structure
 };
 
 }  // namespace figret::te

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/topology.h"
 #include "net/yen.h"
 #include "te/lp_schemes.h"
@@ -73,7 +75,7 @@ TEST(Cope, PredictedMluNearOptimalWithLooseEnvelope) {
   double lower = 0.0;
   for (std::size_t t = train.size() - 12; t < train.size(); ++t) {
     const MluLpResult per = solve_mlu_lp(ps, train[t]);
-    ASSERT_TRUE(per.optimal);
+    ASSERT_TRUE(per.optimal());
     lower = std::max(lower, per.mlu);
   }
   EXPECT_GE(r.predicted_mlu + 1e-9, lower);
@@ -96,6 +98,17 @@ TEST(Cope, TighterEnvelopeTradesPredictedPerformance) {
   // But it must yield a better (or equal) worst case.
   EXPECT_LE(worst_case_mlu_hose(ps, r_tight.config),
             worst_case_mlu_hose(ps, r_loose.config) + 1e-3);
+}
+
+TEST(Cope, MasterIterationLimitIsAnError) {
+  // kIterationLimit from COPE's *own* master is an error, not a quiet
+  // fallback to the stale incumbent configuration. Only the COPE master
+  // solver is pivot-starved — the stage-1 oblivious solve keeps its default
+  // budget and succeeds, so the throw under test is cope's, not oblivious's.
+  const PathSet ps = triangle_pathset();
+  CopeOptions opt;
+  opt.solver.simplex.max_iterations = 1;
+  EXPECT_THROW(solve_cope(ps, stable_trace(3, 40), opt), std::runtime_error);
 }
 
 TEST(CopeTe, SchemeLifecycle) {

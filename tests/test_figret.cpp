@@ -94,7 +94,7 @@ TEST(Figret, TrainingApproachesOptimalOnStableTraffic) {
         test.snapshots.data() + (t - 4), 4};
     const TeConfig cfg = scheme.advise(history);
     const MluLpResult opt_lp = solve_mlu_lp(ps, test[t]);
-    ASSERT_TRUE(opt_lp.optimal);
+    ASSERT_TRUE(opt_lp.optimal());
     ratio_sum += mlu(ps, test[t], cfg) / opt_lp.mlu;
     ++count;
   }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "net/topology.h"
 #include "net/yen.h"
 #include "te/lp_schemes.h"
@@ -177,6 +180,56 @@ TEST(Harness, EvaluateAllMatchesIndividualEvaluates) {
     EXPECT_EQ(all[0].normalized[i], ea.normalized[i]);
     EXPECT_EQ(all[1].normalized[i], ea.normalized[i]);  // same scheme kind
     EXPECT_EQ(all[2].normalized[i], ec.normalized[i]);
+  }
+}
+
+TEST(Harness, SurfacesLpIterationLimit) {
+  // A truncated omniscient solve must be an error, never a silent partial
+  // normalizer: one pivot cannot reach optimality on these LPs.
+  const PathSet ps = mesh_pathset(4);
+  Harness::Options opt;
+  opt.max_window = 12;
+  opt.solver.simplex.max_iterations = 1;
+  Harness h(ps, traffic::dc_tor_trace(4, 80, 23), opt);
+  try {
+    h.omniscient();
+    FAIL() << "expected runtime_error for kIterationLimit";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("iteration limit"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Harness, EnginesAgreeOnOmniscientNormalizer) {
+  // Dense oracle, cold revised, and warm-chained revised all solve the same
+  // LPs to optimality: the normalizer vectors agree to LP tolerance.
+  const PathSet ps = mesh_pathset(4);
+  const traffic::TrafficTrace trace = traffic::dc_tor_trace(4, 80, 23);
+
+  Harness::Options dense_opt;
+  dense_opt.max_window = 12;
+  dense_opt.solver.engine = lp::Engine::kDenseTableau;
+  Harness dense(ps, trace, dense_opt);
+
+  Harness::Options cold_opt;
+  cold_opt.max_window = 12;
+  cold_opt.warm_chunk = 0;  // every snapshot solves cold
+  Harness cold(ps, trace, cold_opt);
+
+  Harness::Options warm_opt;
+  warm_opt.max_window = 12;
+  warm_opt.warm_chunk = 5;
+  Harness warm(ps, trace, warm_opt);
+
+  const auto& d = dense.omniscient();
+  const auto& c = cold.omniscient();
+  const auto& w = warm.omniscient();
+  ASSERT_EQ(d.size(), c.size());
+  ASSERT_EQ(d.size(), w.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d[i], c[i], 1e-6 * (1.0 + d[i])) << "slot " << i;
+    EXPECT_NEAR(d[i], w[i], 1e-6 * (1.0 + d[i])) << "slot " << i;
   }
 }
 

@@ -1,0 +1,160 @@
+// Regression tests for classic cycling/degenerate LPs: Beale's example and a
+// Kuhn-style degenerate instance must terminate at the optimum in both
+// engines — with Bland's rule forced from the first pivot and with the
+// default Dantzig-then-Bland policy — plus warm-start-after-bound-tightening
+// coverage for the revised engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/certificates.h"
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+
+namespace figret::lp {
+namespace {
+
+// Beale (1955): min -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4. Dantzig pricing with
+// naive tie-breaking cycles forever on this instance; the optimum is -1/20
+// at x = (1/25, 0, 1, 0).
+LpProblem beale() {
+  LpProblem p;
+  const auto x1 = p.add_variable(-0.75);
+  const auto x2 = p.add_variable(150.0);
+  const auto x3 = p.add_variable(-0.02);
+  const auto x4 = p.add_variable(6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x3, 1.0}}, Relation::kLessEq, 1.0);
+  return p;
+}
+
+// Kuhn-style degenerate LP. The third row bounds the negated objective
+// directly (obj = -(2x1 + 3x2 - x3 - 12x4) >= -2), so the optimum is -2,
+// attained at x = (2, 0, 2, 0) where the origin vertex is fully degenerate.
+LpProblem kuhn() {
+  LpProblem p;
+  const auto x1 = p.add_variable(-2.0);
+  const auto x2 = p.add_variable(-3.0);
+  const auto x3 = p.add_variable(1.0);
+  const auto x4 = p.add_variable(12.0);
+  p.add_constraint({{x1, -2.0}, {x2, -9.0}, {x3, 1.0}, {x4, 9.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x1, 1.0 / 3.0}, {x2, 1.0}, {x3, -1.0 / 3.0}, {x4, -2.0}},
+                   Relation::kLessEq, 0.0);
+  p.add_constraint({{x1, 2.0}, {x2, 3.0}, {x3, -1.0}, {x4, -12.0}},
+                   Relation::kLessEq, 2.0);
+  return p;
+}
+
+void expect_optimal_both(const LpProblem& p, double expected,
+                         std::size_t bland_after, const char* label) {
+  SolveOptions simplex;
+  simplex.bland_after = bland_after;
+  // Tight enough that a cycle would trip the limit instead of "terminating"
+  // by exhausting the default budget.
+  simplex.max_iterations = 5000;
+  for (const Engine engine : {Engine::kDenseTableau, Engine::kRevisedSparse}) {
+    SolverOptions opt;
+    opt.engine = engine;
+    opt.simplex = simplex;
+    const LpResult r = solve_with(p, opt);
+    ASSERT_EQ(r.status, Status::kOptimal)
+        << label << " engine " << static_cast<int>(engine) << " bland_after "
+        << bland_after;
+    EXPECT_NEAR(r.objective, expected, 1e-8)
+        << label << " engine " << static_cast<int>(engine);
+    EXPECT_TRUE(check_certificate(p, r).ok(1e-6))
+        << label << " engine " << static_cast<int>(engine);
+  }
+}
+
+TEST(LpDegeneracy, BealeTerminatesUnderBland) {
+  expect_optimal_both(beale(), -0.05, /*bland_after=*/0, "Beale/Bland");
+}
+
+TEST(LpDegeneracy, BealeTerminatesUnderDefaultPolicy) {
+  // Dantzig first; if it cycles the automatic Bland switch must rescue it
+  // well within the 5000-pivot budget.
+  expect_optimal_both(beale(), -0.05, /*bland_after=*/100, "Beale/Default");
+}
+
+TEST(LpDegeneracy, KuhnTerminatesUnderBland) {
+  expect_optimal_both(kuhn(), -2.0, /*bland_after=*/0, "Kuhn/Bland");
+}
+
+TEST(LpDegeneracy, KuhnTerminatesUnderDefaultPolicy) {
+  expect_optimal_both(kuhn(), -2.0, /*bland_after=*/100, "Kuhn/Default");
+}
+
+TEST(LpDegeneracy, WarmStartAfterBoundTighteningNonBinding) {
+  // Tightening a bound that stays above the optimal value must keep the
+  // captured basis feasible: the warm solve re-primes and needs no pivots.
+  LpProblem p;
+  const auto x = p.add_variable(-3.0, 10.0);
+  const auto y = p.add_variable(-5.0, 10.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEq, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEq, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0);
+
+  WarmStart warm;
+  SolverOptions opt;
+  SolveStats stats;
+  const LpResult first = solve_revised(p, opt, &warm, &stats);
+  ASSERT_TRUE(first.optimal());
+  EXPECT_NEAR(first.objective, -36.0, 1e-8);  // x = 2, y = 6
+
+  p.set_upper_bound(x, 8.0);  // optimum has x = 2: basis stays feasible
+  p.set_upper_bound(y, 7.0);  // and y = 6 < 7
+  const LpResult second = solve_revised(p, opt, &warm, &stats);
+  ASSERT_TRUE(second.optimal());
+  EXPECT_NEAR(second.objective, -36.0, 1e-8);
+  EXPECT_TRUE(stats.warm_start_used);
+  EXPECT_EQ(stats.pivots, 0u);
+  EXPECT_TRUE(check_certificate(p, second).ok(1e-6));
+}
+
+TEST(LpDegeneracy, WarmStartAfterBoundTighteningBinding) {
+  // Tightening below the incumbent value invalidates the basis: the solve
+  // must still return the new optimum (re-priming or falling back cold).
+  LpProblem p;
+  const auto x = p.add_variable(-3.0, 10.0);
+  const auto y = p.add_variable(-5.0, 10.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEq, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEq, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0);
+
+  WarmStart warm;
+  SolverOptions opt;
+  const LpResult first = solve_revised(p, opt, &warm);
+  ASSERT_TRUE(first.optimal());
+
+  p.set_upper_bound(y, 4.0);  // previous optimum had y = 6: now infeasible
+  const LpResult second = solve_revised(p, opt, &warm);
+  ASSERT_TRUE(second.optimal());
+  // With y <= 4: x <= 4 and 3x + 2y <= 18 give x = 10/3, y = 4, obj -30.
+  EXPECT_NEAR(second.objective, -30.0, 1e-8);
+  EXPECT_TRUE(check_certificate(p, second).ok(1e-6));
+  // Fresh dense solve agrees — the oracle for the warm path.
+  const LpResult oracle = solve(p);
+  ASSERT_TRUE(oracle.optimal());
+  EXPECT_NEAR(second.objective, oracle.objective, 1e-8);
+}
+
+TEST(LpDegeneracy, IterationLimitStillReported) {
+  // The anti-cycling machinery must not mask a genuine pivot-budget hit.
+  for (const Engine engine : {Engine::kDenseTableau, Engine::kRevisedSparse}) {
+    SolverOptions opt;
+    opt.engine = engine;
+    opt.simplex.max_iterations = 1;
+    const LpResult r = solve_with(beale(), opt);
+    EXPECT_EQ(r.status, Status::kIterationLimit)
+        << "engine " << static_cast<int>(engine);
+  }
+}
+
+}  // namespace
+}  // namespace figret::lp

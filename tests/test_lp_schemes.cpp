@@ -37,7 +37,7 @@ TEST(MluLp, Fig3OptimumIsHalf) {
   // MLU* = 0.5 (any traffic detour raises another edge above 0.5).
   const PathSet ps = triangle_pathset();
   const MluLpResult r = solve_mlu_lp(ps, fig3_demand(1, 1, 1));
-  ASSERT_TRUE(r.optimal);
+  ASSERT_TRUE(r.optimal());
   EXPECT_NEAR(r.mlu, 0.5, 1e-8);
   EXPECT_NEAR(mlu(ps, fig3_demand(1, 1, 1), normalize_config(ps, r.config)),
               0.5, 1e-8);
@@ -49,7 +49,7 @@ TEST(MluLp, SingleBigDemandSplitsAcrossPaths) {
   // independent capacities, so the split halves the bottleneck).
   const PathSet ps = triangle_pathset();
   const MluLpResult r = solve_mlu_lp(ps, fig3_demand(4, 0, 0));
-  ASSERT_TRUE(r.optimal);
+  ASSERT_TRUE(r.optimal());
   EXPECT_NEAR(r.mlu, 1.0, 1e-8);
 }
 
@@ -59,7 +59,7 @@ TEST(MluLp, OptimalIsLowerBoundOverRandomConfigs) {
   traffic::DemandMatrix dm(4);
   for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.0, 1.0);
   const MluLpResult opt = solve_mlu_lp(ps, dm);
-  ASSERT_TRUE(opt.optimal);
+  ASSERT_TRUE(opt.optimal());
   for (int trial = 0; trial < 25; ++trial) {
     TeConfig raw(ps.num_paths());
     for (auto& v : raw) v = rng.uniform(0.0, 1.0);
@@ -74,7 +74,7 @@ TEST(MluLp, ConfigIsValidAfterNormalization) {
   traffic::DemandMatrix dm(5);
   for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.1, 1.0);
   const MluLpResult r = solve_mlu_lp(ps, dm);
-  ASSERT_TRUE(r.optimal);
+  ASSERT_TRUE(r.optimal());
   EXPECT_TRUE(valid_config(ps, normalize_config(ps, r.config)));
 }
 
@@ -87,7 +87,7 @@ TEST(MluLp, SensitivityCapsAreRespected) {
   traffic::DemandMatrix dm(4);
   for (std::size_t p = 0; p < dm.size(); ++p) dm[p] = rng.uniform(0.1, 1.0);
   const MluLpResult r = solve_mlu_lp(ps, dm, &caps);
-  ASSERT_TRUE(r.optimal);
+  ASSERT_TRUE(r.optimal());
   const auto sens = path_sensitivities(ps, normalize_config(ps, r.config));
   for (std::size_t pid = 0; pid < ps.num_paths(); ++pid)
     EXPECT_LE(sens[pid], bound + 1e-6);
@@ -103,8 +103,8 @@ TEST(MluLp, CapsNeverBelowOptimalUncapped) {
   const auto caps =
       sensitivity_caps(ps, std::vector<double>(ps.num_pairs(), 0.5));
   const MluLpResult cap = solve_mlu_lp(ps, dm, &caps);
-  ASSERT_TRUE(unc.optimal);
-  ASSERT_TRUE(cap.optimal);
+  ASSERT_TRUE(unc.optimal());
+  ASSERT_TRUE(cap.optimal());
   EXPECT_GE(cap.mlu + 1e-9, unc.mlu);
 }
 
@@ -141,7 +141,7 @@ TEST(MluLp, AliveMaskExcludesDeadPaths) {
   alive[ps.pair_begin(0)] = false;
   traffic::DemandMatrix dm(4, 0.5);
   const MluLpResult r = solve_mlu_lp(ps, dm, nullptr, &alive);
-  ASSERT_TRUE(r.optimal);
+  ASSERT_TRUE(r.optimal());
   EXPECT_DOUBLE_EQ(r.config[ps.pair_begin(0)], 0.0);
   double sum = 0.0;
   for (std::size_t p = ps.pair_begin(0); p < ps.pair_end(0); ++p)

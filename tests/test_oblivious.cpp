@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/topology.h"
 #include "net/yen.h"
 #include "te/hose.h"
@@ -129,6 +131,15 @@ TEST(Oblivious, WorstCaseConsistentWithExactOracle) {
   const ObliviousResult r = solve_oblivious(ps, opt);
   const double exact = worst_case_mlu_hose(ps, r.config);
   EXPECT_NEAR(r.worst_mlu, exact, 1e-4);
+}
+
+TEST(Oblivious, MasterIterationLimitIsAnError) {
+  // A pivot-starved master LP must surface kIterationLimit instead of
+  // silently keeping the previous round's configuration.
+  const PathSet ps = triangle_pathset();
+  ObliviousOptions opt;
+  opt.solver.simplex.max_iterations = 1;
+  EXPECT_THROW(solve_oblivious(ps, opt), std::runtime_error);
 }
 
 TEST(Oblivious, TimeBudgetShortCircuits) {

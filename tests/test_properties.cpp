@@ -89,7 +89,7 @@ TEST_P(TeProperties, MluConvexInConfig) {
 TEST_P(TeProperties, LpOptimumBelowHeuristicConfigs) {
   const auto dm = random_demand();
   const MluLpResult lp = solve_mlu_lp(ps_, dm);
-  ASSERT_TRUE(lp.optimal);
+  ASSERT_TRUE(lp.optimal());
   for (int trial = 0; trial < 5; ++trial)
     EXPECT_GE(mlu(ps_, dm, random_config()) + 1e-9, lp.mlu);
   EXPECT_GE(mlu(ps_, dm, uniform_config(ps_)) + 1e-9, lp.mlu);
@@ -98,7 +98,7 @@ TEST_P(TeProperties, LpOptimumBelowHeuristicConfigs) {
 TEST_P(TeProperties, LpConfigAchievesItsObjective) {
   const auto dm = random_demand();
   const MluLpResult lp = solve_mlu_lp(ps_, dm);
-  ASSERT_TRUE(lp.optimal);
+  ASSERT_TRUE(lp.optimal());
   const TeConfig cfg = normalize_config(ps_, lp.config);
   EXPECT_NEAR(mlu(ps_, dm, cfg), lp.mlu, 1e-6 + 1e-6 * lp.mlu);
 }
@@ -122,8 +122,8 @@ TEST_P(TeProperties, FailoverNeverDecreasesOptimalMlu) {
   const auto alive = surviving_paths(ps_, failed);
   const MluLpResult full = solve_mlu_lp(ps_, dm);
   const MluLpResult restricted = solve_mlu_lp(ps_, dm, nullptr, &alive);
-  ASSERT_TRUE(full.optimal);
-  ASSERT_TRUE(restricted.optimal);
+  ASSERT_TRUE(full.optimal());
+  ASSERT_TRUE(restricted.optimal());
   EXPECT_GE(restricted.mlu + 1e-9, full.mlu);
 }
 

@@ -61,7 +61,7 @@ TEST(TealLike, TailoredToSeenDemandOnStableTraffic) {
     std::vector<traffic::DemandMatrix> h{trace[t]};
     const TeConfig cfg = scheme.advise(h);
     const MluLpResult lp = solve_mlu_lp(ps, trace[t]);
-    ASSERT_TRUE(lp.optimal);
+    ASSERT_TRUE(lp.optimal());
     ratio += mlu(ps, trace[t], cfg) / lp.mlu;
     ++count;
   }
@@ -84,7 +84,7 @@ TEST(TealLike, DegradesUnderUnexpectedBurst) {
   traffic::DemandMatrix burst = trace[trace.size() - 1];
   burst[0] *= 10.0;
   const MluLpResult lp = solve_mlu_lp(ps, burst);
-  ASSERT_TRUE(lp.optimal);
+  ASSERT_TRUE(lp.optimal());
   // Substantially worse than the omniscient optimum on the burst snapshot.
   EXPECT_GT(mlu(ps, burst, cfg), lp.mlu * 1.05);
 }
