@@ -26,6 +26,7 @@
 #include "te/lp_schemes.h"
 #include "te/oblivious.h"
 #include "te/teal_like.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -146,6 +147,12 @@ int main(int argc, char** argv) {
     const double v = std::strtod(env, &end);
     if (end != env && *end == '\0' && v >= 0.0) budget = v;
   }
+  // Machine-readable record of the tables this binary computes itself (the
+  // per-solve microbenchmarks are available via --benchmark_format=json).
+  util::Json jout = util::Json::object();
+  jout.set("bench", "tab02_timing").set("full_mode", bench::full_mode());
+  util::Json jprecomp = util::Json::array();
+
   for (auto& ts : scenarios()) {
     std::string obl_cell = "-", cope_cell = "-";
     if (ts.sc.ps.num_nodes() <= 30) {
@@ -170,8 +177,15 @@ int main(int argc, char** argv) {
     }
     t.add_row({ts.sc.name, util::fmt(ts.figret_train_seconds, 2),
                util::fmt(ts.teal_train_seconds, 2), obl_cell, cope_cell});
+    jprecomp.push(util::Json::object()
+                      .set("network", ts.sc.name)
+                      .set("figret_train_seconds", ts.figret_train_seconds)
+                      .set("teal_train_seconds", ts.teal_train_seconds)
+                      .set("oblivious", obl_cell)
+                      .set("cope", cope_cell));
   }
   t.print(std::cout);
+  jout.set("precomputation", std::move(jprecomp));
 
   // LP engine comparison on the omniscient-normalizer sweep: the dense
   // tableau oracle vs the sparse revised simplex, cold per snapshot vs
@@ -187,6 +201,7 @@ int main(int argc, char** argv) {
   util::Table et({"network", "solves", "dense (s)", "dense pivots",
                   "revised (s)", "revised pivots", "warm (s)", "warm pivots",
                   "warm hits/probes"});
+  util::Json jengines = util::Json::array();
   for (auto& ts : scenarios()) {
     const std::size_t count =
         std::min<std::size_t>(bench::full_mode() ? 60 : 24,
@@ -222,8 +237,21 @@ int main(int argc, char** argv) {
                 util::fmt(hot.seconds, 3), std::to_string(hot.pivots),
                 std::to_string(warm.hits()) + "/" +
                     std::to_string(warm.hits() + warm.misses())});
+    jengines.push(
+        util::Json::object()
+            .set("network", ts.sc.name)
+            .set("solves", static_cast<std::int64_t>(count))
+            .set("dense_seconds", dense.seconds)
+            .set("dense_pivots", static_cast<std::int64_t>(dense.pivots))
+            .set("revised_seconds", cold.seconds)
+            .set("revised_pivots", static_cast<std::int64_t>(cold.pivots))
+            .set("warm_seconds", hot.seconds)
+            .set("warm_pivots", static_cast<std::int64_t>(hot.pivots))
+            .set("warm_hits", static_cast<std::int64_t>(warm.hits()))
+            .set("warm_misses", static_cast<std::int64_t>(warm.misses())));
   }
   et.print(std::cout);
+  jout.set("lp_engine_sweep", std::move(jengines));
 
   // Parallel evaluation engine: the omniscient-normalizer LP solves are the
   // dominant cost of a full harness evaluation; time them serial vs pooled.
@@ -234,6 +262,7 @@ int main(int argc, char** argv) {
             << " thread(s) [FIGRET_THREADS overrides]:\n";
   util::Table pt({"network", "snapshots", "serial (s)", "parallel (s)",
                   "speedup"});
+  util::Json jparallel = util::Json::array();
   for (auto& ts : scenarios()) {
     te::Harness::Options hopt;
     hopt.eval_stride = ts.sc.eval_stride;
@@ -252,7 +281,18 @@ int main(int argc, char** argv) {
     pt.add_row({ts.sc.name, std::to_string(serial.eval_indices().size()),
                 util::fmt(serial_s, 2), util::fmt(pooled_s, 2),
                 util::fmt(pooled_s > 0.0 ? serial_s / pooled_s : 0.0, 2)});
+    jparallel.push(
+        util::Json::object()
+            .set("network", ts.sc.name)
+            .set("snapshots",
+                 static_cast<std::int64_t>(serial.eval_indices().size()))
+            .set("serial_seconds", serial_s)
+            .set("parallel_seconds", pooled_s)
+            .set("threads", static_cast<std::int64_t>(width)));
   }
   pt.print(std::cout);
+  jout.set("parallel_normalizer", std::move(jparallel));
+  jout.write_file("BENCH_tab02_timing.json", 2);
+  std::cout << "\nmachine-readable results: BENCH_tab02_timing.json\n";
   return 0;
 }

@@ -4,13 +4,22 @@
 //   figret_cli --topology geant --traffic wan --scheme figret \
 //              --epochs 20 --robust-weight 4 --save model.bin
 //   figret_cli --topology mesh --nodes 8 --traffic tor --scheme des
+//   figret_cli serve --topology geant --scheme pred --rate 500 --workers 4
 //   figret_cli --list
 //
 // Schemes: figret, dote, teal, des, pred, heuristic, twostage, oblivious,
 // cope. Topologies: geant, mesh, tor (random regular), wan (sparse).
 // Traffic: wan, gravity, tor, pod, pfabric.
+//
+// The `serve` subcommand replays the test split of the trace through the
+// streaming serving loop (paced arrivals, worker pipeline, SLO accounting)
+// instead of the batch evaluation harness.
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
 
 #include "net/racke_paths.h"
 #include "net/topology.h"
@@ -22,10 +31,15 @@
 #include "te/heuristic_f.h"
 #include "te/lp_schemes.h"
 #include "te/oblivious.h"
+#include "te/retrain_monitor.h"
+#include "te/serving_loop.h"
 #include "te/teal_like.h"
 #include "te/two_stage.h"
+#include "traffic/feed.h"
 #include "traffic/generators.h"
 #include "util/args.h"
+#include "util/json.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace {
@@ -48,7 +62,21 @@ void print_usage(std::ostream& os) {
       "  --threads   evaluation threads (0 = all cores, 1 = serial; default 0)\n"
       "  --budget    LP time budget in seconds (oblivious/cope; default 60)\n"
       "  --save      path to write the trained FIGRET/DOTE model\n"
-      "  --list      print available scenarios and exit\n";
+      "  --list      print available scenarios and exit\n"
+      "\n"
+      "serve — stream the test split through the serving loop:\n"
+      "  figret_cli serve [shared flags above] ...\n"
+      "  --rate      offered snapshots per second (0 = as fast as accepted)\n"
+      "  --burst     snapshots per arrival burst       (default 1)\n"
+      "  --jitter    pacing jitter fraction in [0, 1)  (default 0)\n"
+      "  --workers   serving workers (0 = all cores)   (default 2)\n"
+      "  --slo-ms    serve-latency SLO in ms (0 = off) (default 0)\n"
+      "  --ring      snapshot ring capacity            (default 256)\n"
+      "  --table     WCMP table size per pair          (default 16)\n"
+      "  --oracle    per-snapshot omniscient LP normalizer\n"
+      "  --drop      drop snapshots on backpressure instead of retrying\n"
+      "  --monitor   run the retraining drift monitor on the stream\n"
+      "  --json      path to write serve stats as JSON\n";
 }
 
 /// Thrown for malformed invocations (unknown flag/subcommand, bad value):
@@ -57,17 +85,31 @@ struct UsageError : std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+bool is_serve(const util::Args& args) {
+  return !args.positional().empty() && args.positional().front() == "serve";
+}
+
 void validate(const util::Args& args) {
   try {
-    args.expect_only({"topology", "nodes", "traffic", "snapshots", "scheme",
-                      "epochs", "history", "robust-weight", "racke", "stride",
-                      "seed", "threads", "budget", "save", "list", "help"});
+    if (is_serve(args)) {
+      args.expect_only({"topology", "nodes", "traffic", "snapshots", "scheme",
+                        "epochs", "history", "robust-weight", "racke", "seed",
+                        "rate", "burst", "jitter", "workers", "slo-ms", "ring",
+                        "table", "oracle", "drop", "monitor", "json", "help"});
+    } else {
+      args.expect_only({"topology", "nodes", "traffic", "snapshots", "scheme",
+                        "epochs", "history", "robust-weight", "racke",
+                        "stride", "seed", "threads", "budget", "save", "list",
+                        "help"});
+    }
   } catch (const std::invalid_argument& e) {
     throw UsageError(e.what());
   }
-  if (!args.positional().empty())
-    throw UsageError("unknown subcommand '" + args.positional().front() +
-                     "' (figret_cli takes --flags only)");
+  if (args.positional().size() > (is_serve(args) ? 1u : 0u))
+    throw UsageError("unknown subcommand '" +
+                     args.positional()[is_serve(args) ? 1 : 0] +
+                     "' (figret_cli takes --flags, plus the optional "
+                     "'serve' subcommand)");
 }
 
 /// Flag readers that turn malformed values into usage errors (exit 2), and
@@ -135,6 +177,191 @@ traffic::TrafficTrace make_traffic(const util::Args& args, std::size_t nodes) {
   throw UsageError("unknown --traffic " + kind);
 }
 
+/// One untrained advisor instance for a serving worker. FIGRET/DOTE are
+/// handled separately (train once, clone the checkpoint per worker).
+std::unique_ptr<te::TeScheme> make_worker_scheme(const std::string& name,
+                                                 const te::PathSet& paths) {
+  if (name == "teal") return std::make_unique<te::TealLikeTe>(paths);
+  if (name == "des") return std::make_unique<te::DesensitizationTe>(paths);
+  if (name == "pred") return std::make_unique<te::PredictionTe>(paths);
+  if (name == "heuristic") return std::make_unique<te::HeuristicFTe>(paths);
+  if (name == "twostage")
+    return std::make_unique<te::TwoStageTe>(
+        paths, std::make_unique<traffic::EwmaPredictor>(0.4));
+  if (name == "oblivious" || name == "cope")
+    throw UsageError("--scheme " + name +
+                     " serves one static configuration — use batch mode");
+  throw UsageError("unknown --scheme " + name);
+}
+
+int run_serve(const util::Args& args) {
+  const net::Graph graph = make_graph(args);
+  const auto per_pair = flag_bool(args, "racke")
+                            ? net::racke_style_paths(graph, {})
+                            : net::all_pairs_k_shortest(graph, 3);
+  const te::PathSet paths = te::PathSet::build(graph, per_pair);
+  const traffic::TrafficTrace trace = make_traffic(args, graph.num_nodes());
+
+  std::size_t workers = flag_size(args, "workers", 2);
+  if (workers == 0) workers = util::default_threads();
+
+  // Advisors learn on the chronological training split; the stream replays
+  // the held-out test split (the paper's Eq. 1 information model).
+  const auto split = trace.split(0.75);
+  const traffic::TrafficTrace& train = split.first;
+
+  const std::string scheme_name = args.get_or("scheme", "figret");
+  std::vector<std::unique_ptr<te::TeScheme>> schemes;
+  if (scheme_name == "figret" || scheme_name == "dote") {
+    te::FigretOptions fopt;
+    fopt.history = flag_size(args, "history", 8);
+    fopt.epochs = flag_size(args, "epochs", 15);
+    fopt.hidden = {128, 128, 128};
+    fopt.robust_weight = flag_double(args, "robust-weight", 4.0);
+    const bool dote = scheme_name == "dote";
+    auto trained = std::make_unique<te::FigretScheme>(
+        paths, dote ? te::dote_options(fopt) : fopt, dote ? "DOTE" : "FIGRET");
+    trained->fit(train);
+    // Train once, ship the checkpoint to every worker (§6: controllers load
+    // models far more often than they train them).
+    std::stringstream checkpoint;
+    trained->save(checkpoint);
+    schemes.push_back(std::move(trained));
+    for (std::size_t i = 1; i < workers; ++i) {
+      auto clone = std::make_unique<te::FigretScheme>(
+          paths, dote ? te::dote_options(fopt) : fopt,
+          dote ? "DOTE" : "FIGRET");
+      std::stringstream is(checkpoint.str());
+      clone->load(is);
+      schemes.push_back(std::move(clone));
+    }
+  } else {
+    for (std::size_t i = 0; i < workers; ++i) {
+      schemes.push_back(make_worker_scheme(scheme_name, paths));
+      schemes.back()->fit(train);
+    }
+  }
+
+  std::size_t window = 1;
+  for (const auto& s : schemes)
+    window = std::max(window, s->history_window());
+  const std::size_t begin = std::max(train.size(), window);
+  if (begin >= trace.size())
+    throw std::invalid_argument(
+        "serve: trace too short for the advisor history window");
+
+  te::ServingLoop::Options lopt;
+  lopt.workers = workers;
+  lopt.queue_capacity = flag_size(args, "ring", 256);
+  lopt.slo_seconds = flag_double(args, "slo-ms", 0.0) * 1e-3;
+  lopt.oracle = flag_bool(args, "oracle");
+  lopt.wcmp_table_size =
+      static_cast<std::uint32_t>(flag_size(args, "table", 16));
+  te::ServingLoop loop(paths, trace, lopt);
+
+  std::vector<te::TeScheme*> advisors;
+  for (const auto& s : schemes) advisors.push_back(s.get());
+  loop.start(advisors);
+
+  std::optional<te::RetrainMonitor> monitor;
+  if (flag_bool(args, "monitor")) {
+    monitor.emplace(te::RetrainPolicy{});
+    monitor->set_reference(train);
+  }
+
+  // Single-producer replay: pace arrivals, drain results between offers so
+  // the bounded results ring never stalls the workers.
+  double raw_sum = 0.0, raw_max = 0.0, norm_sum = 0.0;
+  std::uint64_t norm_count = 0;
+  std::vector<te::SnapshotResult> batch;
+  const auto consume = [&] {
+    batch.clear();
+    loop.drain(batch);
+    for (const te::SnapshotResult& r : batch) {
+      raw_sum += r.raw_mlu;
+      raw_max = std::max(raw_max, r.raw_mlu);
+      if (r.oracle_mlu > 0.0) {
+        norm_sum += r.normalized;
+        ++norm_count;
+      }
+      if (monitor)
+        monitor->observe(trace[r.trace_index],
+                         r.oracle_mlu > 0.0
+                             ? r.normalized
+                             : std::numeric_limits<double>::quiet_NaN());
+    }
+  };
+
+  traffic::SnapshotFeed::Options fopt;
+  fopt.begin = static_cast<std::uint32_t>(begin);
+  fopt.end = static_cast<std::uint32_t>(trace.size());
+  fopt.rate = flag_double(args, "rate", 0.0);
+  fopt.burst = flag_size(args, "burst", 1);
+  fopt.jitter = flag_double(args, "jitter", 0.0);
+  fopt.drop_on_backpressure = flag_bool(args, "drop");
+  traffic::SnapshotFeed feed(fopt);
+  feed.run([&](std::uint32_t idx) {
+    consume();
+    return loop.try_submit(idx);
+  });
+  while (loop.completed() < loop.submitted()) {
+    consume();
+    std::this_thread::yield();
+  }
+  loop.finish();
+  consume();
+
+  const auto stats = loop.stats().snapshot();
+  std::cout << "serve: " << schemes.front()->name() << " on "
+            << graph.num_nodes() << " nodes / " << paths.num_paths()
+            << " paths; snapshots [" << begin << ", " << trace.size()
+            << "), " << workers << " workers\n"
+            << "feed: offered " << feed.offered() << ", accepted "
+            << feed.accepted() << ", dropped " << feed.dropped() << "\n";
+  loop.stats().print(std::cout);
+  if (stats.served > 0) {
+    std::cout << "raw MLU: mean "
+              << raw_sum / static_cast<double>(stats.served) << ", max "
+              << raw_max << "\n";
+    if (norm_count > 0)
+      std::cout << "normalized MLU (vs omniscient): mean "
+                << norm_sum / static_cast<double>(norm_count) << "\n";
+  }
+  if (monitor)
+    std::cout << "retrain monitor: drifted " << monitor->drifted_in_window()
+              << ", degraded " << monitor->degraded_in_window()
+              << " in window; retrain "
+              << (monitor->should_retrain() ? "RECOMMENDED" : "not needed")
+              << "\n";
+
+  if (const auto path = args.get("json")) {
+    util::Json j = util::Json::object();
+    j.set("scheme", schemes.front()->name())
+        .set("workers", static_cast<std::int64_t>(workers))
+        .set("snapshots_served", static_cast<std::int64_t>(stats.served))
+        .set("offered", static_cast<std::int64_t>(feed.offered()))
+        .set("dropped", static_cast<std::int64_t>(feed.dropped()))
+        .set("overflows", static_cast<std::int64_t>(stats.overflows))
+        .set("slo_ms", flag_double(args, "slo-ms", 0.0))
+        .set("slo_violations",
+             static_cast<std::int64_t>(stats.slo_violations))
+        .set("serve_p50_s", stats.serve_p50)
+        .set("serve_p99_s", stats.serve_p99)
+        .set("serve_p999_s", stats.serve_p999)
+        .set("e2e_p99_s", stats.e2e_p99)
+        .set("raw_mlu_mean", stats.served > 0
+                                 ? raw_sum / static_cast<double>(stats.served)
+                                 : 0.0)
+        .set("raw_mlu_max", raw_max);
+    if (norm_count > 0)
+      j.set("normalized_mlu_mean",
+            norm_sum / static_cast<double>(norm_count));
+    j.write_file(*path, 2);
+    std::cout << "stats written to " << *path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,10 +375,11 @@ int main(int argc, char** argv) {
       }
     }();
     validate(args);
-    if (flag_bool(args, "help") || flag_bool(args, "list")) {
+    if (flag_bool(args, "help") || (!is_serve(args) && flag_bool(args, "list"))) {
       print_usage(std::cout);
       return 0;
     }
+    if (is_serve(args)) return run_serve(args);
 
     const net::Graph graph = make_graph(args);
     const auto per_pair =

@@ -20,9 +20,16 @@ std::vector<bool> surviving_paths(
 
 TeConfig reroute(const PathSet& ps, const TeConfig& config,
                  const std::vector<bool>& alive) {
+  TeConfig out;
+  reroute_into(ps, config, alive, out);
+  return out;
+}
+
+void reroute_into(const PathSet& ps, const TeConfig& config,
+                  const std::vector<bool>& alive, TeConfig& out) {
   if (config.size() != ps.num_paths() || alive.size() != ps.num_paths())
     throw std::invalid_argument("reroute: size mismatch");
-  TeConfig out(ps.num_paths(), 0.0);
+  out.assign(ps.num_paths(), 0.0);
   for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
     const std::size_t begin = ps.pair_begin(pr);
     const std::size_t end = ps.pair_end(pr);
@@ -47,7 +54,6 @@ TeConfig reroute(const PathSet& ps, const TeConfig& config,
         if (alive[p]) out[p] = u;
     }
   }
-  return out;
 }
 
 std::vector<net::EdgeId> sample_safe_failures(const PathSet& ps,

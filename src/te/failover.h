@@ -22,6 +22,11 @@ std::vector<bool> surviving_paths(const PathSet& ps,
 TeConfig reroute(const PathSet& ps, const TeConfig& config,
                  const std::vector<bool>& alive);
 
+/// Allocation-free variant: writes the rerouted configuration into `out`
+/// (resized once to num_paths). Bit-identical to reroute.
+void reroute_into(const PathSet& ps, const TeConfig& config,
+                  const std::vector<bool>& alive, TeConfig& out);
+
 /// Picks `count` distinct random edges whose removal keeps every SD pair
 /// reachable through at least one candidate path (so experiments measure
 /// congestion, not disconnection). Throws after too many rejected samples.

@@ -31,10 +31,18 @@ const nn::Mlp& FigretScheme::model() const {
 
 std::vector<double> FigretScheme::build_input(
     std::span<const traffic::DemandMatrix> history) const {
+  std::vector<double> x;
+  build_input_into(history, x);
+  return x;
+}
+
+void FigretScheme::build_input_into(
+    std::span<const traffic::DemandMatrix> history,
+    std::vector<double>& out) const {
   const std::size_t pairs = ps_->num_pairs();
   if (history.size() < opt_.history)
     throw std::invalid_argument("FigretScheme: history shorter than window");
-  std::vector<double> x(opt_.history * pairs, 0.0);
+  out.assign(opt_.history * pairs, 0.0);
   // Most recent snapshot last, matching training layout.
   const std::size_t offset = history.size() - opt_.history;
   for (std::size_t h = 0; h < opt_.history; ++h) {
@@ -42,9 +50,8 @@ std::vector<double> FigretScheme::build_input(
     if (dm.size() != pairs)
       throw std::invalid_argument("FigretScheme: demand size mismatch");
     for (std::size_t p = 0; p < pairs; ++p)
-      x[h * pairs + p] = dm[p] / input_scale_;
+      out[h * pairs + p] = dm[p] / input_scale_;
   }
-  return x;
 }
 
 void FigretScheme::fit(const traffic::TrafficTrace& train) {
@@ -136,10 +143,17 @@ void FigretScheme::fit(const traffic::TrafficTrace& train) {
 
 TeConfig FigretScheme::advise(
     std::span<const traffic::DemandMatrix> history) {
+  TeConfig out;
+  advise_into(history, out);
+  return out;
+}
+
+void FigretScheme::advise_into(std::span<const traffic::DemandMatrix> history,
+                               TeConfig& out) {
   if (!model_) throw std::logic_error("FigretScheme: advise() before fit()");
-  const auto x = build_input(history);
-  const auto sig = model_->forward(x, ws_);
-  return ratios_from_sigmoid(*ps_, sig);
+  build_input_into(history, advise_input_);
+  const auto sig = model_->forward(advise_input_, ws_);
+  ratios_from_sigmoid_into(*ps_, sig, out);
 }
 
 namespace {

@@ -52,6 +52,11 @@ class FigretScheme final : public TeScheme {
   std::string name() const override { return name_; }
   void fit(const traffic::TrafficTrace& train) override;
   TeConfig advise(std::span<const traffic::DemandMatrix> history) override;
+  /// Serving-loop hot path: one forward pass with every buffer (input row,
+  /// MLP workspace, output ratios) reused across calls — zero allocations
+  /// once the buffers reach capacity. Bit-identical to advise().
+  void advise_into(std::span<const traffic::DemandMatrix> history,
+                   TeConfig& out) override;
   std::size_t history_window() const override { return opt_.history; }
 
   /// Per-pair robustness weights (training variance / squared demand scale)
@@ -75,6 +80,8 @@ class FigretScheme final : public TeScheme {
  private:
   std::vector<double> build_input(
       std::span<const traffic::DemandMatrix> history) const;
+  void build_input_into(std::span<const traffic::DemandMatrix> history,
+                        std::vector<double>& out) const;
 
   const PathSet* ps_;
   FigretOptions opt_;
@@ -84,6 +91,8 @@ class FigretScheme final : public TeScheme {
   double final_epoch_loss_ = 0.0;
   std::unique_ptr<nn::Mlp> model_;
   mutable nn::MlpWorkspace ws_;
+  /// advise_into() scratch (input row), reused across snapshots.
+  std::vector<double> advise_input_;
 };
 
 /// Convenience factory for the DOTE baseline.

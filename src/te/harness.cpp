@@ -4,8 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
-#include "te/lp_schemes.h"
-#include "te/mlu.h"
+#include "te/serving_loop.h"
 #include "util/parallel.h"
 
 namespace figret::te {
@@ -44,45 +43,33 @@ traffic::TrafficTrace Harness::train_trace() const {
 std::vector<double> Harness::omniscient_for_alive(
     const std::vector<bool>* alive) {
   // The dominant cost of a full evaluation (Fig 5 / Table 2): one LP per
-  // evaluated snapshot. Consecutive snapshots share constraint structure, so
-  // the sweep is split into fixed chunks of `warm_chunk` snapshots, each a
-  // serial chain through its own lp::WarmStart handle (the previous optimal
-  // basis re-primes the next solve). Chunk boundaries depend only on
-  // warm_chunk, so any execution width assembles the bit-identical vector.
-  const std::size_t n = eval_indices_.size();
-  std::vector<double> out(n, 0.0);
-  // A chunk is both one warm chain and one unit of parallelism: cap its
-  // size so at least ~32 chunks exist (short sweeps degrade to chunk = 1,
-  // i.e. full per-snapshot parallelism and no chaining). Depends only on
-  // warm_chunk and n, never on the execution width.
-  const bool chain = opt_.warm_chunk > 0;
-  std::size_t chunk = chain ? opt_.warm_chunk : 1;
-  chunk = std::max<std::size_t>(1, std::min(chunk, n / 32));
-  const std::size_t n_chunks = (n + chunk - 1) / chunk;
-  util::parallel_for(
-      0, n_chunks,
-      [&](std::size_t c) {
-        lp::WarmStart warm;
-        lp::WarmStart* handle = chain ? &warm : nullptr;
-        const std::size_t end = std::min(n, (c + 1) * chunk);
-        for (std::size_t i = c * chunk; i < end; ++i) {
-          const std::size_t t = eval_indices_[i];
-          const MluLpResult res = solve_mlu_lp(*ps_, trace_[t], nullptr,
-                                               alive, &opt_.solver, handle);
-          if (!res.optimal())
-            throw std::runtime_error(
-                std::string("Harness: omniscient LP failed (status: ") +
-                lp::to_string(res.status) + ")");
-          out[i] = res.mlu;
-        }
-      },
-      opt_.threads);
-  return out;
+  // evaluated snapshot. Batch evaluation is a client of the streaming
+  // pipeline: a transient ServingLoop runs the sweep through the same ring
+  // and worker code as live serving, with warm-LP chains reset at the
+  // historical chunk boundaries so the assembled vector is bit-identical
+  // for any execution width (serving_loop.h documents the chunk rule).
+  ServingLoop::Options o;
+  o.workers = opt_.threads;
+  o.solver = opt_.solver;
+  ServingLoop loop(*ps_, trace_, o);
+  return loop.run_oracle_batch(eval_indices_, alive, opt_.warm_chunk);
 }
 
 const std::vector<double>& Harness::omniscient() {
+  std::lock_guard<std::mutex> lock(omniscient_mu_);
   if (!omniscient_) omniscient_ = omniscient_for_alive(nullptr);
   return *omniscient_;
+}
+
+std::vector<double> Harness::score_batch(const std::vector<TeConfig>* configs,
+                                         const TeConfig* fixed,
+                                         const std::vector<bool>* alive,
+                                         std::size_t threads) {
+  ServingLoop::Options o;
+  o.workers = threads;
+  o.solver = opt_.solver;
+  ServingLoop loop(*ps_, trace_, o);
+  return loop.run_score_batch(eval_indices_, configs, fixed, alive);
 }
 
 SchemeEval Harness::finish(std::string name, std::vector<double> raw,
@@ -138,25 +125,14 @@ SchemeEval Harness::evaluate_with_width(TeScheme& scheme, bool fit,
   const std::vector<TeConfig> configs =
       advise_all(scheme, window, &advise_seconds);
 
-  std::vector<double> raw(eval_indices_.size(), 0.0);
-  util::parallel_for(
-      0, eval_indices_.size(),
-      [&](std::size_t i) {
-        raw[i] = mlu(*ps_, trace_[eval_indices_[i]], configs[i]);
-      },
-      threads);
+  std::vector<double> raw = score_batch(&configs, nullptr, nullptr, threads);
   return finish(scheme.name(), std::move(raw), omniscient(), advise_seconds);
 }
 
 SchemeEval Harness::evaluate_config(const std::string& name,
                                     const TeConfig& config) {
-  std::vector<double> raw(eval_indices_.size(), 0.0);
-  util::parallel_for(
-      0, eval_indices_.size(),
-      [&](std::size_t i) {
-        raw[i] = mlu(*ps_, trace_[eval_indices_[i]], config);
-      },
-      opt_.threads);
+  std::vector<double> raw =
+      score_batch(nullptr, &config, nullptr, opt_.threads);
   return finish(name, std::move(raw), omniscient(), 0.0);
 }
 
@@ -174,14 +150,8 @@ SchemeEval Harness::evaluate_under_failures(
   const std::vector<TeConfig> configs =
       advise_all(scheme, window, &advise_seconds);
 
-  std::vector<double> raw(eval_indices_.size(), 0.0);
-  util::parallel_for(
-      0, eval_indices_.size(),
-      [&](std::size_t i) {
-        const TeConfig rerouted = reroute(*ps_, configs[i], alive);
-        raw[i] = mlu(*ps_, trace_[eval_indices_[i]], rerouted);
-      },
-      opt_.threads);
+  std::vector<double> raw =
+      score_batch(&configs, nullptr, &alive, opt_.threads);
   return finish(scheme.name(), std::move(raw), oracle, advise_seconds);
 }
 

@@ -7,6 +7,7 @@
 // distributions are directly comparable — the construction behind Fig 5.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -105,6 +106,13 @@ class Harness {
 
  private:
   std::vector<double> omniscient_for_alive(const std::vector<bool>* alive);
+  /// Scores configurations through a batch ServingLoop run (see
+  /// serving_loop.h): exactly one of `configs` (per eval index) / `fixed`.
+  /// With `alive`, traffic reroutes around dead paths before scoring.
+  std::vector<double> score_batch(const std::vector<TeConfig>* configs,
+                                  const TeConfig* fixed,
+                                  const std::vector<bool>* alive,
+                                  std::size_t threads);
   SchemeEval evaluate_with_width(TeScheme& scheme, bool fit,
                                  std::size_t threads);
   /// Runs the (stateful, serial) timed advise loop over every eval index;
@@ -120,6 +128,9 @@ class Harness {
   Options opt_;
   std::size_t split_ = 0;
   std::vector<std::size_t> eval_indices_;
+  /// Guards lazy materialization of omniscient_ so concurrent evaluate
+  /// calls on one Harness share a single normalizer computation.
+  std::mutex omniscient_mu_;
   std::optional<std::vector<double>> omniscient_;
 };
 

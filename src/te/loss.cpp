@@ -5,10 +5,33 @@
 namespace figret::te {
 
 TeConfig ratios_from_sigmoid(const PathSet& ps, std::span<const double> sig) {
+  TeConfig r;
+  ratios_from_sigmoid_into(ps, sig, r);
+  return r;
+}
+
+void ratios_from_sigmoid_into(const PathSet& ps, std::span<const double> sig,
+                              TeConfig& out) {
   if (sig.size() != ps.num_paths())
     throw std::invalid_argument("ratios_from_sigmoid: size mismatch");
-  TeConfig r(sig.begin(), sig.end());
-  return normalize_config(ps, std::move(r));
+  out.assign(sig.begin(), sig.end());
+  // Same arithmetic as normalize_config (pathset.cpp), applied in place so
+  // the serving hot path reuses `out`'s capacity across snapshots.
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    const std::size_t begin = ps.pair_begin(pr);
+    const std::size_t end = ps.pair_end(pr);
+    double sum = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      out[p] = out[p] > 0.0 ? out[p] : 0.0;
+      sum += out[p];
+    }
+    if (sum > 1e-12) {
+      for (std::size_t p = begin; p < end; ++p) out[p] /= sum;
+    } else {
+      const double u = 1.0 / static_cast<double>(end - begin);
+      for (std::size_t p = begin; p < end; ++p) out[p] = u;
+    }
+  }
 }
 
 LossValue figret_loss(const PathSet& ps, const traffic::DemandMatrix& dm,

@@ -39,6 +39,11 @@ struct LossValue {
 /// per-pair normalization. `sig` and the result are indexed by global path id.
 TeConfig ratios_from_sigmoid(const PathSet& ps, std::span<const double> sig);
 
+/// Allocation-free variant: writes the normalized ratios into `out` (resized
+/// once to num_paths). Bit-identical to ratios_from_sigmoid.
+void ratios_from_sigmoid_into(const PathSet& ps, std::span<const double> sig,
+                              TeConfig& out);
+
 /// Evaluates the loss at sigmoid outputs `sig` against realized demand `dm`,
 /// with per-pair robustness weights `pair_weight` (the paper uses the
 /// training-window demand variance, normalized). If `grad_sig` is non-null it

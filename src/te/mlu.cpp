@@ -7,17 +7,23 @@ namespace figret::te {
 std::vector<double> edge_loads(const PathSet& ps,
                                const traffic::DemandMatrix& demand,
                                const TeConfig& config) {
+  std::vector<double> load;
+  edge_loads_into(ps, demand, config, load);
+  return load;
+}
+
+void edge_loads_into(const PathSet& ps, const traffic::DemandMatrix& demand,
+                     const TeConfig& config, std::vector<double>& out) {
   if (config.size() != ps.num_paths())
     throw std::invalid_argument("edge_loads: config size mismatch");
   if (demand.size() != ps.num_pairs())
     throw std::invalid_argument("edge_loads: demand size mismatch");
-  std::vector<double> load(ps.num_edges(), 0.0);
+  out.assign(ps.num_edges(), 0.0);
   for (std::size_t pid = 0; pid < ps.num_paths(); ++pid) {
     const double flow = demand[ps.pair_of_path(pid)] * config[pid];
     if (flow == 0.0) continue;
-    for (net::EdgeId e : ps.path_edges(pid)) load[e] += flow;
+    for (net::EdgeId e : ps.path_edges(pid)) out[e] += flow;
   }
-  return load;
 }
 
 MluResult max_link_utilization(const PathSet& ps,
@@ -38,6 +44,17 @@ MluResult max_link_utilization(const PathSet& ps,
 double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
            const TeConfig& config) {
   return max_link_utilization(ps, demand, config).mlu;
+}
+
+double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
+           const TeConfig& config, std::vector<double>& edge_scratch) {
+  edge_loads_into(ps, demand, config, edge_scratch);
+  double worst = 0.0;
+  for (net::EdgeId e = 0; e < edge_scratch.size(); ++e) {
+    const double u = edge_scratch[e] / ps.edge_capacity(e);
+    if (u > worst) worst = u;
+  }
+  return worst;
 }
 
 std::vector<double> path_sensitivities(const PathSet& ps,

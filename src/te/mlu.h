@@ -16,6 +16,11 @@ std::vector<double> edge_loads(const PathSet& ps,
                                const traffic::DemandMatrix& demand,
                                const TeConfig& config);
 
+/// Allocation-free variant: writes per-edge loads into `out` (resized once to
+/// num_edges). Bit-identical to edge_loads.
+void edge_loads_into(const PathSet& ps, const traffic::DemandMatrix& demand,
+                     const TeConfig& config, std::vector<double>& out);
+
 struct MluResult {
   double mlu = 0.0;
   net::EdgeId argmax_edge = 0;
@@ -29,6 +34,11 @@ MluResult max_link_utilization(const PathSet& ps,
 /// Convenience: just the MLU value.
 double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
            const TeConfig& config);
+
+/// Serving hot path: MLU with caller-provided edge-load scratch, so repeated
+/// scoring allocates nothing once `edge_scratch` reaches num_edges capacity.
+double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
+           const TeConfig& config, std::vector<double>& edge_scratch);
 
 /// Path sensitivities S_p = r_p / C_p for every global path id.
 std::vector<double> path_sensitivities(const PathSet& ps,

@@ -27,6 +27,16 @@ class TeScheme {
   virtual TeConfig advise(
       std::span<const traffic::DemandMatrix> history) = 0;
 
+  /// Allocation-conscious variant for the streaming serving loop: writes the
+  /// configuration into `out` (resized as needed), so a caller that reuses
+  /// `out` across snapshots keeps the hot path allocation-free once buffers
+  /// reach steady-state capacity. The default delegates to advise(); schemes
+  /// on the serving hot path (FIGRET) override it to reuse scratch.
+  virtual void advise_into(std::span<const traffic::DemandMatrix> history,
+                           TeConfig& out) {
+    out = advise(history);
+  }
+
   /// How many historical snapshots advise() wants to see.
   virtual std::size_t history_window() const { return 1; }
 };

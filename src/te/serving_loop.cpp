@@ -1,0 +1,446 @@
+#include "te/serving_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "te/failover.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "util/parallel.h"
+
+namespace figret::te {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace
+
+ServingLoop::ServingLoop(const PathSet& ps, const traffic::TrafficTrace& trace)
+    : ServingLoop(ps, trace, Options{}) {}
+
+ServingLoop::ServingLoop(const PathSet& ps, const traffic::TrafficTrace& trace,
+                         const Options& opt)
+    : ps_(&ps),
+      trace_(&trace),
+      opt_(opt),
+      workers_(opt.workers == 0 ? util::default_threads() : opt.workers),
+      uniform_(uniform_config(ps)),
+      jobs_(opt.queue_capacity == 0 ? 1 : opt.queue_capacity),
+      results_(2 * util::ring_capacity_for(
+                       opt.queue_capacity == 0 ? 1 : opt.queue_capacity)) {
+  if (trace.num_nodes != ps.num_nodes())
+    throw std::invalid_argument("ServingLoop: trace/topology mismatch");
+  if (opt_.queue_capacity == 0)
+    throw std::invalid_argument("ServingLoop: queue_capacity must be >= 1");
+  if (opt_.wcmp_table_size == 0)
+    throw std::invalid_argument("ServingLoop: wcmp_table_size must be >= 1");
+}
+
+ServingLoop::~ServingLoop() {
+  // Abandoned streaming session: let workers drain what is already on the
+  // ring (bounded by its capacity), then stop.
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : stream_workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+// --- streaming -------------------------------------------------------------
+
+void ServingLoop::start(std::span<TeScheme* const> advisors) {
+  if (running_)
+    throw std::logic_error("ServingLoop: start() while already running");
+  if (opt_.infer) {
+    if (advisors.size() != workers_)
+      throw std::invalid_argument(
+          "ServingLoop: need exactly one advisor per worker");
+    for (TeScheme* s : advisors)
+      if (s == nullptr)
+        throw std::invalid_argument("ServingLoop: null advisor");
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  window_ = 1;
+  stream_workers_.clear();
+  for (std::size_t i = 0; i < workers_; ++i) {
+    auto w = std::make_unique<Worker>();
+    if (opt_.infer) {
+      w->advisor = advisors[i];
+      w->window = std::max<std::size_t>(1, advisors[i]->history_window());
+      window_ = std::max(window_, w->window);
+    }
+    stream_workers_.push_back(std::move(w));
+  }
+  for (auto& w : stream_workers_)
+    w->thread = std::thread([this, wp = w.get()] { worker_loop(*wp); });
+  running_ = true;
+}
+
+void ServingLoop::check_submittable(std::uint32_t index) const {
+  if (!running_)
+    throw std::logic_error("ServingLoop: submit before start()");
+  if (index < window_ || index >= trace_->size())
+    throw std::out_of_range(
+        "ServingLoop: index outside the servable trace range");
+}
+
+bool ServingLoop::try_submit(std::uint32_t index) {
+  check_submittable(index);
+  Job job;
+  job.seq = next_seq_;
+  job.index = index;
+  job.enqueued = Clock::now();
+  if (!jobs_.try_push(job)) {
+    stats_.overflows.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++next_seq_;
+  return true;
+}
+
+void ServingLoop::submit(std::uint32_t index) {
+  check_submittable(index);
+  Job job;
+  job.seq = next_seq_;
+  job.index = index;
+  job.enqueued = Clock::now();
+  while (!jobs_.try_push(job)) std::this_thread::yield();
+  ++next_seq_;
+}
+
+std::size_t ServingLoop::drain(std::vector<SnapshotResult>& out) {
+  std::size_t n = 0;
+  SnapshotResult r;
+  while (results_.try_pop(r)) {
+    out.push_back(r);
+    ++n;
+  }
+  return n;
+}
+
+void ServingLoop::finish() {
+  if (!running_) return;
+  while (completed_.load(std::memory_order_acquire) < next_seq_)
+    std::this_thread::yield();
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : stream_workers_)
+    if (w->thread.joinable()) w->thread.join();
+  for (auto& w : stream_workers_) aggregate_warm(*w);
+  stream_workers_.clear();
+  running_ = false;
+  if (stream_error_) {
+    std::exception_ptr e = stream_error_;
+    stream_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ServingLoop::install_failures(const std::vector<net::EdgeId>& failed) {
+  auto alive = std::make_shared<const std::vector<bool>>(
+      surviving_paths(*ps_, failed));
+  {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    failure_alive_ = std::move(alive);
+    failure_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  stats_.failure_epochs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingLoop::clear_failures() {
+  {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    failure_alive_.reset();
+    failure_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  stats_.failure_epochs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingLoop::refresh_failures(Worker& w) {
+  // One relaxed-ish load per snapshot; the mutex is touched only on the
+  // snapshot where the epoch actually changed.
+  if (failure_epoch_.load(std::memory_order_acquire) == w.failure_epoch_seen)
+    return;
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  w.alive = failure_alive_;
+  w.failure_epoch_seen = failure_epoch_.load(std::memory_order_relaxed);
+}
+
+void ServingLoop::worker_loop(Worker& w) {
+  Job job;
+  for (;;) {
+    if (jobs_.try_pop(job)) {
+      try {
+        process_snapshot(w, job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!stream_error_) stream_error_ = std::current_exception();
+      }
+      completed_.fetch_add(1, std::memory_order_release);
+    } else if (stop_.load(std::memory_order_acquire)) {
+      return;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ServingLoop::process_snapshot(Worker& w, const Job& job) {
+  const auto dequeued = Clock::now();
+  SnapshotResult r;
+  r.seq = job.seq;
+  r.trace_index = job.index;
+  r.queue_seconds = seconds_since(job.enqueued, dequeued);
+
+  refresh_failures(w);
+
+  const std::size_t t = job.index;
+  const TeConfig* served = &uniform_;
+
+  if (opt_.infer) {
+    const auto start = Clock::now();
+    const std::span<const traffic::DemandMatrix> history{
+        trace_->snapshots.data() + (t - w.window), w.window};
+    w.advisor->advise_into(history, w.cfg);
+    r.infer_seconds = seconds_since(start, Clock::now());
+    served = &w.cfg;
+  }
+
+  if (opt_.install) {
+    const auto start = Clock::now();
+    quantize_wcmp_into(*ps_, *served, opt_.wcmp_table_size, w.weights,
+                       w.wcmp_scratch);
+    ratios_from_wcmp_into(*ps_, w.weights, w.installed);
+    double worst = 0.0;
+    for (std::size_t p = 0; p < w.installed.size(); ++p)
+      worst = std::max(worst, std::abs(w.installed[p] - (*served)[p]));
+    r.quant_error = worst;
+    served = &w.installed;
+    r.install_seconds = seconds_since(start, Clock::now());
+  }
+
+  // §4.5: failure response renormalizes whatever is installed, so it comes
+  // after quantization (a switch reroutes its realized WCMP ratios).
+  if (w.alive) {
+    reroute_into(*ps_, *served, *w.alive, w.rerouted);
+    served = &w.rerouted;
+  }
+
+  r.serve_seconds = seconds_since(job.enqueued, Clock::now());
+  r.slo_violation =
+      opt_.slo_seconds > 0.0 && r.serve_seconds > opt_.slo_seconds;
+
+  if (opt_.score)
+    r.raw_mlu = te::mlu(*ps_, (*trace_)[t], *served, w.edge_scratch);
+
+  if (opt_.oracle) {
+    const auto start = Clock::now();
+    const std::vector<bool>* alive = w.alive ? w.alive.get() : nullptr;
+    const MluLpResult res = solve_mlu_lp(*ps_, (*trace_)[t], nullptr, alive,
+                                         &opt_.solver, &w.warm);
+    r.lp_seconds = seconds_since(start, Clock::now());
+    r.lp_pivots = static_cast<std::uint32_t>(res.pivots);
+    if (res.optimal()) {
+      r.oracle_mlu = res.mlu;
+      const double denom = res.mlu > 1e-12 ? res.mlu : 1e-12;
+      r.normalized = r.raw_mlu / denom;
+    } else {
+      // Streaming mode degrades gracefully: the snapshot is still served,
+      // only its normalizer is missing.
+      stats_.oracle_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  r.total_seconds = seconds_since(job.enqueued, Clock::now());
+
+  while (!results_.try_push(r)) {
+    stats_.result_backpressure.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+
+  stats_.queue.record(r.queue_seconds);
+  if (opt_.infer) stats_.infer.record(r.infer_seconds);
+  if (opt_.install) stats_.install.record(r.install_seconds);
+  if (opt_.oracle) stats_.lp.record(r.lp_seconds);
+  stats_.serve.record(r.serve_seconds);
+  stats_.e2e.record(r.total_seconds);
+  stats_.served.fetch_add(1, std::memory_order_relaxed);
+  if (r.slo_violation)
+    stats_.slo_violations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingLoop::aggregate_warm(const Worker& w) {
+  stats_.warm_hits.fetch_add(w.warm_hits_acc + w.warm.hits(),
+                             std::memory_order_relaxed);
+  stats_.warm_misses.fetch_add(w.warm_misses_acc + w.warm.misses(),
+                               std::memory_order_relaxed);
+}
+
+// --- batch -----------------------------------------------------------------
+
+std::vector<double> ServingLoop::run_oracle_batch(
+    std::span<const std::size_t> indices, const std::vector<bool>* alive,
+    std::size_t warm_chunk) {
+  const std::size_t n = indices.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  // The historical Harness chunk rule, reproduced exactly: a chunk is both
+  // one warm chain and one unit of parallelism, capped so >= ~32 chunks
+  // exist. Depends only on warm_chunk and n — never on the worker count —
+  // which is what keeps serial and parallel runs bit-identical.
+  const bool chain = warm_chunk > 0;
+  std::size_t chunk = chain ? warm_chunk : 1;
+  chunk = std::max<std::size_t>(1, std::min(chunk, n / 32));
+  BatchState bs;
+  bs.indices = indices;
+  bs.alive = alive;
+  bs.out = &out;
+  bs.oracle = true;
+  bs.chain = chain;
+  run_batch(bs, chunk);
+  return out;
+}
+
+std::vector<double> ServingLoop::run_score_batch(
+    std::span<const std::size_t> indices,
+    const std::vector<TeConfig>* configs, const TeConfig* fixed,
+    const std::vector<bool>* alive) {
+  const std::size_t n = indices.size();
+  if (configs != nullptr && configs->size() != n)
+    throw std::invalid_argument("ServingLoop: configs/indices size mismatch");
+  if ((configs == nullptr) == (fixed == nullptr))
+    throw std::invalid_argument(
+        "ServingLoop: pass exactly one of configs/fixed");
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  // Scoring is pure per index; chunking only amortizes ring traffic.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (workers_ * 8 + 1));
+  BatchState bs;
+  bs.indices = indices;
+  bs.per_index = configs;
+  bs.fixed = fixed;
+  bs.alive = alive;
+  bs.out = &out;
+  run_batch(bs, chunk);
+  return out;
+}
+
+void ServingLoop::run_batch(BatchState& bs, std::size_t chunk) {
+  if (running_)
+    throw std::logic_error("ServingLoop: batch call while streaming");
+  const std::size_t n = bs.indices.size();
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+
+  if (workers_ == 1) {
+    // Inline serial reference mode: no threads, no ring.
+    Worker w;
+    for (std::size_t c = 0; c < n_chunks; ++c)
+      process_batch_chunk(w, bs, c * chunk, std::min(n, (c + 1) * chunk));
+    aggregate_warm(w);
+  } else {
+    batch_stop_.store(false, std::memory_order_relaxed);
+    std::vector<std::unique_ptr<Worker>> workers;
+    for (std::size_t i = 0; i + 1 < workers_; ++i)
+      workers.push_back(std::make_unique<Worker>());
+    for (auto& w : workers)
+      w->thread = std::thread([this, &bs, wp = w.get()] {
+        Job job;
+        for (;;) {
+          if (jobs_.try_pop(job)) {
+            process_batch_chunk(*wp, bs, job.index, job.index + job.count);
+            bs.completed.fetch_add(job.count, std::memory_order_release);
+          } else if (batch_stop_.load(std::memory_order_acquire)) {
+            return;
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+
+    // The caller is worker 0: it produces chunk jobs and helps drain the
+    // ring whenever it is full, so any chunk count flows through a bounded
+    // ring without deadlock.
+    Worker w0;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      Job job;
+      job.index = static_cast<std::uint32_t>(c * chunk);
+      job.count = static_cast<std::uint32_t>(std::min(n, (c + 1) * chunk) -
+                                             c * chunk);
+      while (!jobs_.try_push(job)) {
+        Job stolen;
+        if (jobs_.try_pop(stolen)) {
+          process_batch_chunk(w0, bs, stolen.index,
+                              stolen.index + stolen.count);
+          bs.completed.fetch_add(stolen.count, std::memory_order_release);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    Job job;
+    while (jobs_.try_pop(job)) {
+      process_batch_chunk(w0, bs, job.index, job.index + job.count);
+      bs.completed.fetch_add(job.count, std::memory_order_release);
+    }
+    while (bs.completed.load(std::memory_order_acquire) < n)
+      std::this_thread::yield();
+    batch_stop_.store(true, std::memory_order_release);
+    for (auto& w : workers) w->thread.join();
+    aggregate_warm(w0);
+    for (auto& w : workers) aggregate_warm(*w);
+  }
+  if (bs.error) std::rethrow_exception(bs.error);
+}
+
+void ServingLoop::process_batch_chunk(Worker& w, BatchState& bs,
+                                      std::size_t begin, std::size_t end) {
+  // After a failure the remaining chunks only tick the completion counter so
+  // the producer's wait converges; their slots are never read.
+  if (bs.abort.load(std::memory_order_relaxed)) return;
+  try {
+    if (bs.oracle) {
+      lp::WarmStart* handle = nullptr;
+      if (bs.chain) {
+        // clear() makes the handle equivalent to a freshly constructed one
+        // (the historical per-chunk lp::WarmStart), preserving bit-identity;
+        // totals are banked first so finish-time stats stay exact.
+        w.warm_hits_acc += w.warm.hits();
+        w.warm_misses_acc += w.warm.misses();
+        w.warm.clear();
+        handle = &w.warm;
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t t = bs.indices[i];
+        const auto start = Clock::now();
+        const MluLpResult res = solve_mlu_lp(*ps_, (*trace_)[t], nullptr,
+                                             bs.alive, &opt_.solver, handle);
+        stats_.lp.record(seconds_since(start, Clock::now()));
+        if (!res.optimal())
+          throw std::runtime_error(
+              std::string("Harness: omniscient LP failed (status: ") +
+              lp::to_string(res.status) + ")");
+        (*bs.out)[i] = res.mlu;
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        const TeConfig& base =
+            bs.per_index != nullptr ? (*bs.per_index)[i] : *bs.fixed;
+        const TeConfig* served = &base;
+        if (bs.alive != nullptr) {
+          reroute_into(*ps_, base, *bs.alive, w.rerouted);
+          served = &w.rerouted;
+        }
+        (*bs.out)[i] =
+            te::mlu(*ps_, (*trace_)[bs.indices[i]], *served, w.edge_scratch);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!bs.error) bs.error = std::current_exception();
+    bs.abort.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace figret::te

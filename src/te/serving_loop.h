@@ -1,0 +1,252 @@
+// Streaming TE serving loop — the controller-shaped runtime around the
+// paper's pipeline. A single producer submits trace indices onto a bounded
+// lock-free ring; worker threads pick snapshots up run-to-completion:
+//
+//   NN inference (advise_into)  ->  WCMP install (quantize)  ->
+//   failure reroute (§4.5)      ->  MLU scoring              ->
+//   optional omniscient warm-LP resolve                      ->
+//   lock-free publish (sequence-numbered results ring)
+//
+// Each worker owns its whole working set — TeScheme instance, lp::WarmStart
+// chain, every scratch buffer — so the hot path takes no locks and performs
+// no allocations once buffers reach steady-state capacity (the LP stage
+// allocates internally; disable `oracle` for a strictly allocation-free
+// serving path). Warm-LP chains are per worker by construction, so two
+// concurrent callers can never interleave basis lineages.
+//
+// Batch evaluation (the Harness) is a thin client of the same machinery:
+// run_oracle_batch / run_score_batch push chunked jobs through the identical
+// ring + worker code with the warm chain reset at each chunk boundary, which
+// keeps results bit-identical for any worker count (chunk boundaries depend
+// only on the chunk size and the index count, never on the execution width).
+// Streaming mode instead chains each worker's LP warm starts indefinitely —
+// deliberately trading that determinism for steady-state pivot savings.
+//
+// Failure handling mid-stream: install_failures() swaps in a path-liveness
+// mask behind a shared_ptr + epoch counter; workers notice with one relaxed
+// load per snapshot and only touch a mutex on the epoch that changes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "lp/revised_simplex.h"
+#include "te/pathset.h"
+#include "te/scheme.h"
+#include "te/serving_stats.h"
+#include "te/wcmp.h"
+#include "traffic/demand.h"
+#include "util/ring.h"
+
+namespace figret::te {
+
+/// One served snapshot, published on the results ring. Plain data: ring
+/// slots are pre-allocated and publishing is a copy + sequence release.
+struct SnapshotResult {
+  /// Monotone submission sequence number (drain order may differ).
+  std::uint64_t seq = 0;
+  std::uint32_t trace_index = 0;
+  /// Simplex pivots of the omniscient resolve (0 when `oracle` is off).
+  std::uint32_t lp_pivots = 0;
+  /// MLU of the configuration actually served (post install/reroute).
+  double raw_mlu = 0.0;
+  /// Omniscient LP optimum for this snapshot (0 when `oracle` is off or the
+  /// resolve failed — see ServingStats::oracle_failures).
+  double oracle_mlu = 0.0;
+  /// raw_mlu / oracle_mlu with the Harness' 1e-12 denominator floor.
+  double normalized = 0.0;
+  /// Largest per-path ratio change introduced by WCMP quantization.
+  double quant_error = 0.0;
+  double queue_seconds = 0.0;    // submit -> worker dequeue
+  double infer_seconds = 0.0;    // advise_into
+  double lp_seconds = 0.0;       // omniscient resolve
+  double install_seconds = 0.0;  // WCMP quantize + ratio reconstruction
+  double serve_seconds = 0.0;    // submit -> config installed (SLO quantity)
+  double total_seconds = 0.0;    // submit -> result published
+  bool slo_violation = false;
+};
+
+class ServingLoop {
+ public:
+  struct Options {
+    /// Worker threads; 0 = util::default_threads(). In batch mode 1 means
+    /// inline serial execution on the caller (the bit-identity reference).
+    std::size_t workers = 0;
+    /// Snapshot ring capacity (rounded up to a power of two). The results
+    /// ring holds 2x this.
+    std::size_t queue_capacity = 256;
+    /// Serve-latency SLO (submit -> installed); 0 disables SLO accounting.
+    double slo_seconds = 0.0;
+    /// Run the scheme's advise_into per snapshot (needs one advisor per
+    /// worker in start()); false serves the uniform configuration.
+    bool infer = true;
+    /// Quantize to WCMP weights and serve the realized switch ratios.
+    bool install = true;
+    /// Score the served configuration's MLU against the realized demand.
+    bool score = true;
+    /// Per-snapshot omniscient warm-LP resolve (the normalizer). Off by
+    /// default: it dominates cost and allocates inside the solver.
+    bool oracle = false;
+    std::uint32_t wcmp_table_size = 16;
+    /// LP engine/knobs for oracle resolves.
+    lp::SolverOptions solver;
+  };
+
+  /// Borrows `ps` and `trace` — both must outlive the loop.
+  ServingLoop(const PathSet& ps, const traffic::TrafficTrace& trace);
+  ServingLoop(const PathSet& ps, const traffic::TrafficTrace& trace,
+              const Options& opt);
+  ~ServingLoop();
+
+  ServingLoop(const ServingLoop&) = delete;
+  ServingLoop& operator=(const ServingLoop&) = delete;
+
+  std::size_t num_workers() const noexcept { return workers_; }
+  const ServingStats& stats() const noexcept { return stats_; }
+  /// Mutable access for monitoring resets (e.g. dropping warmup samples
+  /// between benchmark passes). Only safe while no snapshot is in flight.
+  ServingStats& stats() noexcept { return stats_; }
+
+  // --- streaming mode ------------------------------------------------------
+
+  /// Spawns the workers. When `infer` is on, `advisors` supplies exactly one
+  /// fitted TeScheme per worker (advise is stateful, so instances must be
+  /// distinct — clone via FigretScheme::save/load or construct per worker).
+  void start(std::span<TeScheme* const> advisors);
+
+  /// Single-producer submission of trace index `index` (which must have at
+  /// least the advisors' history window before it). try_submit returns false
+  /// and counts an overflow when the snapshot ring is full; submit blocks
+  /// (yield-spin) until accepted.
+  bool try_submit(std::uint32_t index);
+  void submit(std::uint32_t index);
+
+  /// Appends every currently published result to `out`; returns how many.
+  /// Call concurrently with submission to bound the results ring.
+  std::size_t drain(std::vector<SnapshotResult>& out);
+
+  /// Waits for every submitted snapshot to be served, stops and joins the
+  /// workers, folds per-worker warm-chain totals into stats(). Rethrows the
+  /// first worker exception, if any. The loop may be start()ed again.
+  void finish();
+
+  /// §4.5 mid-stream failure events: swap the path-liveness mask derived
+  /// from `failed` in (or out) without pausing the stream. Workers pick the
+  /// new mask up on their next snapshot; LP warm chains fall back to a cold
+  /// start on their own when the constraint structure changes.
+  void install_failures(const std::vector<net::EdgeId>& failed);
+  void clear_failures();
+
+  std::uint64_t submitted() const noexcept { return next_seq_; }
+  std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+  // --- batch mode (the Harness client) -------------------------------------
+
+  /// Omniscient MLU for trace indices `indices` (mask `alive` optional).
+  /// Chunked exactly like the historical Harness sweep: chunk = warm_chunk
+  /// clamped to keep >= ~32 chunks, each chunk one warm chain reset at its
+  /// start — bit-identical output for any worker count. Throws on any
+  /// non-optimal solve.
+  std::vector<double> run_oracle_batch(std::span<const std::size_t> indices,
+                                       const std::vector<bool>* alive,
+                                       std::size_t warm_chunk);
+
+  /// MLU of configurations against the realized demands at `indices`:
+  /// per-index configs (`configs`, parallel to `indices`) or one shared
+  /// `fixed` config. With `alive`, traffic is rerouted around dead paths
+  /// (§4.5) before scoring. Bit-identical for any worker count.
+  std::vector<double> run_score_batch(std::span<const std::size_t> indices,
+                                      const std::vector<TeConfig>* configs,
+                                      const TeConfig* fixed,
+                                      const std::vector<bool>* alive);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Ring unit of work. Streaming jobs carry one trace index (count == 0);
+  /// batch jobs cover `count` consecutive slots of the batch index array
+  /// starting at `index`.
+  struct Job {
+    std::uint64_t seq = 0;
+    std::uint32_t index = 0;
+    std::uint32_t count = 0;
+    Clock::time_point enqueued{};
+  };
+
+  /// Per-worker run-to-completion state: everything a snapshot touches.
+  struct Worker {
+    TeScheme* advisor = nullptr;
+    std::size_t window = 1;
+    lp::WarmStart warm;
+    std::uint64_t warm_hits_acc = 0;
+    std::uint64_t warm_misses_acc = 0;
+    TeConfig cfg;
+    TeConfig installed;
+    TeConfig rerouted;
+    WcmpWeights weights;
+    WcmpScratch wcmp_scratch;
+    std::vector<double> edge_scratch;
+    std::shared_ptr<const std::vector<bool>> alive;
+    std::uint64_t failure_epoch_seen = 0;
+    std::thread thread;
+  };
+
+  struct BatchState {
+    std::span<const std::size_t> indices;
+    const std::vector<TeConfig>* per_index = nullptr;
+    const TeConfig* fixed = nullptr;
+    const std::vector<bool>* alive = nullptr;
+    std::vector<double>* out = nullptr;
+    bool oracle = false;
+    bool chain = false;
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;  // guarded by error_mu_
+  };
+
+  void worker_loop(Worker& w);
+  void process_snapshot(Worker& w, const Job& job);
+  void refresh_failures(Worker& w);
+  void run_batch(BatchState& bs, std::size_t chunk);
+  void process_batch_chunk(Worker& w, BatchState& bs, std::size_t begin,
+                           std::size_t end);
+  void aggregate_warm(const Worker& w);
+  void check_submittable(std::uint32_t index) const;
+
+  const PathSet* ps_;
+  const traffic::TrafficTrace* trace_;
+  Options opt_;
+  std::size_t workers_;
+  TeConfig uniform_;
+  util::MpmcRing<Job> jobs_;
+  util::MpmcRing<SnapshotResult> results_;
+  ServingStats stats_;
+
+  // Streaming state.
+  std::vector<std::unique_ptr<Worker>> stream_workers_;
+  std::atomic<bool> stop_{true};
+  bool running_ = false;
+  std::uint64_t next_seq_ = 0;  // producer-side submission count
+  std::atomic<std::uint64_t> completed_{0};
+  std::size_t window_ = 1;
+  std::exception_ptr stream_error_;  // guarded by error_mu_
+  std::mutex error_mu_;
+
+  // Failure mask, swapped atomically-by-epoch (mask + epoch share the mutex).
+  std::shared_ptr<const std::vector<bool>> failure_alive_;
+  std::atomic<std::uint64_t> failure_epoch_{0};
+  std::mutex failure_mu_;
+
+  // Batch state.
+  std::atomic<bool> batch_stop_{false};
+};
+
+}  // namespace figret::te

@@ -1,0 +1,78 @@
+#include "te/serving_stats.h"
+
+#include <ostream>
+
+#include "util/table.h"
+
+namespace figret::te {
+
+void ServingStats::reset() noexcept {
+  queue.reset();
+  infer.reset();
+  lp.reset();
+  install.reset();
+  serve.reset();
+  e2e.reset();
+  served.store(0, std::memory_order_relaxed);
+  slo_violations.store(0, std::memory_order_relaxed);
+  overflows.store(0, std::memory_order_relaxed);
+  result_backpressure.store(0, std::memory_order_relaxed);
+  oracle_failures.store(0, std::memory_order_relaxed);
+  warm_hits.store(0, std::memory_order_relaxed);
+  warm_misses.store(0, std::memory_order_relaxed);
+  failure_epochs.store(0, std::memory_order_relaxed);
+}
+
+ServingStats::Snapshot ServingStats::snapshot() const {
+  Snapshot s;
+  s.served = served.load(std::memory_order_relaxed);
+  s.slo_violations = slo_violations.load(std::memory_order_relaxed);
+  s.overflows = overflows.load(std::memory_order_relaxed);
+  s.result_backpressure =
+      result_backpressure.load(std::memory_order_relaxed);
+  s.oracle_failures = oracle_failures.load(std::memory_order_relaxed);
+  s.warm_hits = warm_hits.load(std::memory_order_relaxed);
+  s.warm_misses = warm_misses.load(std::memory_order_relaxed);
+  s.failure_epochs = failure_epochs.load(std::memory_order_relaxed);
+  s.serve_p50 = serve.percentile(50);
+  s.serve_p99 = serve.percentile(99);
+  s.serve_p999 = serve.percentile(99.9);
+  s.e2e_p50 = e2e.percentile(50);
+  s.e2e_p99 = e2e.percentile(99);
+  s.e2e_p999 = e2e.percentile(99.9);
+  s.infer_p50 = infer.percentile(50);
+  s.infer_p99 = infer.percentile(99);
+  s.lp_p50 = lp.percentile(50);
+  s.lp_p99 = lp.percentile(99);
+  s.install_p50 = install.percentile(50);
+  s.install_p99 = install.percentile(99);
+  s.queue_p50 = queue.percentile(50);
+  s.queue_p99 = queue.percentile(99);
+  s.serve_max = serve.max_seconds();
+  s.e2e_max = e2e.max_seconds();
+  return s;
+}
+
+void ServingStats::print(std::ostream& os) const {
+  const Snapshot s = snapshot();
+  util::Table t({"stage", "p50 (ms)", "p99 (ms)", "p999 (ms)", "max (ms)"});
+  const auto row = [&](const char* name, const util::LatencyHistogram& h) {
+    t.add_row({name, util::fmt(h.percentile(50) * 1e3, 3),
+               util::fmt(h.percentile(99) * 1e3, 3),
+               util::fmt(h.percentile(99.9) * 1e3, 3),
+               util::fmt(h.max_seconds() * 1e3, 3)});
+  };
+  row("queue", queue);
+  row("inference", infer);
+  row("lp (oracle)", lp);
+  row("install", install);
+  row("serve (SLO)", serve);
+  row("end-to-end", e2e);
+  t.print(os);
+  os << "served " << s.served << " snapshots; SLO violations "
+     << s.slo_violations << "; queue overflows " << s.overflows
+     << "; oracle failures " << s.oracle_failures << "; warm LP hits "
+     << s.warm_hits << "/" << (s.warm_hits + s.warm_misses) << "\n";
+}
+
+}  // namespace figret::te

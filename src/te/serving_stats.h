@@ -1,0 +1,71 @@
+// Observability for the streaming TE serving loop: per-stage latency
+// histograms, SLO-violation and queue-overflow counters, warm-LP chain
+// accounting. All members are lock-free — workers record with relaxed
+// atomics and a monitoring reader never blocks the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+#include "util/latency.h"
+
+namespace figret::te {
+
+struct ServingStats {
+  // --- per-stage latency (seconds) -----------------------------------------
+  util::LatencyHistogram queue;    // submit -> worker dequeue
+  util::LatencyHistogram infer;    // NN/scheme advise
+  util::LatencyHistogram lp;       // omniscient warm-LP resolve (accounting)
+  util::LatencyHistogram install;  // WCMP quantization + publish of ratios
+  util::LatencyHistogram serve;    // submit -> installed (the SLO quantity)
+  util::LatencyHistogram e2e;      // submit -> result published (everything)
+
+  // --- counters ------------------------------------------------------------
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> slo_violations{0};
+  /// Submissions rejected because the snapshot ring was full (try_submit).
+  std::atomic<std::uint64_t> overflows{0};
+  /// Spins because the completion ring was full (drainer falling behind).
+  std::atomic<std::uint64_t> result_backpressure{0};
+  /// Omniscient resolves that did not reach optimality (streaming mode
+  /// degrades gracefully: the snapshot still serves, normalized MLU is 0).
+  std::atomic<std::uint64_t> oracle_failures{0};
+  /// Aggregated per-worker warm-start chain outcomes (filled on finish()).
+  std::atomic<std::uint64_t> warm_hits{0};
+  std::atomic<std::uint64_t> warm_misses{0};
+  /// Times a failure mask was installed/cleared mid-stream.
+  std::atomic<std::uint64_t> failure_epochs{0};
+
+  ServingStats() = default;
+  ServingStats(const ServingStats&) = delete;
+  ServingStats& operator=(const ServingStats&) = delete;
+
+  void reset() noexcept;
+
+  /// Plain-value copy for reporting (racy while workers run; exact after
+  /// finish()).
+  struct Snapshot {
+    std::uint64_t served = 0;
+    std::uint64_t slo_violations = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t result_backpressure = 0;
+    std::uint64_t oracle_failures = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t warm_misses = 0;
+    std::uint64_t failure_epochs = 0;
+    double serve_p50 = 0.0, serve_p99 = 0.0, serve_p999 = 0.0;
+    double e2e_p50 = 0.0, e2e_p99 = 0.0, e2e_p999 = 0.0;
+    double infer_p50 = 0.0, infer_p99 = 0.0;
+    double lp_p50 = 0.0, lp_p99 = 0.0;
+    double install_p50 = 0.0, install_p99 = 0.0;
+    double queue_p50 = 0.0, queue_p99 = 0.0;
+    double serve_max = 0.0, e2e_max = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// Human-readable stage/percentile table (used by `figret_cli serve`).
+  void print(std::ostream& os) const;
+};
+
+}  // namespace figret::te

@@ -9,13 +9,23 @@ namespace figret::te {
 
 WcmpWeights quantize_wcmp(const PathSet& ps, const TeConfig& config,
                           std::uint32_t table_size) {
+  WcmpWeights weights;
+  WcmpScratch scratch;
+  quantize_wcmp_into(ps, config, table_size, weights, scratch);
+  return weights;
+}
+
+void quantize_wcmp_into(const PathSet& ps, const TeConfig& config,
+                        std::uint32_t table_size, WcmpWeights& out,
+                        WcmpScratch& scratch) {
   if (config.size() != ps.num_paths())
     throw std::invalid_argument("quantize_wcmp: config size mismatch");
   if (table_size == 0)
     throw std::invalid_argument("quantize_wcmp: table_size must be >= 1");
 
-  WcmpWeights weights(ps.num_paths(), 0);
-  std::vector<std::pair<double, std::size_t>> remainders;
+  out.assign(ps.num_paths(), 0);
+  WcmpWeights& weights = out;
+  auto& remainders = scratch.remainders;
   for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
     const std::size_t begin = ps.pair_begin(pr);
     const std::size_t end = ps.pair_end(pr);
@@ -47,13 +57,19 @@ WcmpWeights quantize_wcmp(const PathSet& ps, const TeConfig& config,
       ++assigned;
     }
   }
-  return weights;
 }
 
 TeConfig ratios_from_wcmp(const PathSet& ps, const WcmpWeights& weights) {
+  TeConfig cfg;
+  ratios_from_wcmp_into(ps, weights, cfg);
+  return cfg;
+}
+
+void ratios_from_wcmp_into(const PathSet& ps, const WcmpWeights& weights,
+                           TeConfig& out) {
   if (weights.size() != ps.num_paths())
     throw std::invalid_argument("ratios_from_wcmp: size mismatch");
-  TeConfig cfg(ps.num_paths(), 0.0);
+  out.assign(ps.num_paths(), 0.0);
   for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
     std::uint64_t sum = 0;
     for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
@@ -62,9 +78,8 @@ TeConfig ratios_from_wcmp(const PathSet& ps, const WcmpWeights& weights) {
       throw std::invalid_argument(
           "ratios_from_wcmp: pair with all-zero weights");
     for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
-      cfg[p] = static_cast<double>(weights[p]) / static_cast<double>(sum);
+      out[p] = static_cast<double>(weights[p]) / static_cast<double>(sum);
   }
-  return cfg;
 }
 
 double quantization_error(const PathSet& ps, const TeConfig& config,

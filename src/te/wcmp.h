@@ -20,6 +20,12 @@ namespace figret::te {
 /// Integer WCMP weights, one per global path id (pair-aligned like TeConfig).
 using WcmpWeights = std::vector<std::uint32_t>;
 
+/// Reusable scratch for quantize_wcmp_into: one per serving worker keeps the
+/// install stage allocation-free in steady state.
+struct WcmpScratch {
+  std::vector<std::pair<double, std::size_t>> remainders;
+};
+
 /// Quantizes `config` so that each pair's weights are non-negative integers
 /// with sum exactly `table_size` (>= 1). Uses largest-remainder rounding,
 /// which minimizes the per-pair L1 rounding error among all integer
@@ -28,8 +34,18 @@ using WcmpWeights = std::vector<std::uint32_t>;
 WcmpWeights quantize_wcmp(const PathSet& ps, const TeConfig& config,
                           std::uint32_t table_size = 16);
 
+/// Allocation-free variant: writes the weights into `out` (resized once to
+/// num_paths), reusing `scratch`. Bit-identical to quantize_wcmp.
+void quantize_wcmp_into(const PathSet& ps, const TeConfig& config,
+                        std::uint32_t table_size, WcmpWeights& out,
+                        WcmpScratch& scratch);
+
 /// Reconstructs the effective split ratios a WCMP switch realizes.
 TeConfig ratios_from_wcmp(const PathSet& ps, const WcmpWeights& weights);
+
+/// Allocation-free variant of ratios_from_wcmp.
+void ratios_from_wcmp_into(const PathSet& ps, const WcmpWeights& weights,
+                           TeConfig& out);
 
 /// Largest per-path absolute ratio error introduced by quantization.
 double quantization_error(const PathSet& ps, const TeConfig& config,

@@ -1,0 +1,77 @@
+#include "traffic/feed.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace figret::traffic {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+SnapshotFeed::SnapshotFeed(const Options& opt) : opt_(opt) {
+  if (opt_.end < opt_.begin)
+    throw std::invalid_argument("SnapshotFeed: end < begin");
+  if (opt_.burst == 0)
+    throw std::invalid_argument("SnapshotFeed: burst must be >= 1");
+  if (opt_.rate < 0.0 || opt_.jitter < 0.0 || opt_.jitter >= 1.0)
+    throw std::invalid_argument("SnapshotFeed: bad rate/jitter");
+}
+
+SnapshotFeed::~SnapshotFeed() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void SnapshotFeed::run(const Sink& sink) {
+  util::Rng rng(opt_.seed);
+  // One arrival event releases `burst` consecutive indices; events are
+  // spaced so the *mean* rate stays `rate` regardless of burst size.
+  const double gap_seconds =
+      opt_.rate > 0.0 ? static_cast<double>(opt_.burst) / opt_.rate : 0.0;
+  Clock::time_point next_event = Clock::now();
+
+  std::size_t index = opt_.begin;
+  while (index < opt_.end) {
+    if (gap_seconds > 0.0) {
+      std::this_thread::sleep_until(next_event);
+      const double factor =
+          opt_.jitter > 0.0
+              ? rng.uniform(1.0 - opt_.jitter, 1.0 + opt_.jitter)
+              : 1.0;
+      next_event += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(gap_seconds * factor));
+    }
+    const std::size_t burst_end =
+        std::min(opt_.end, index + opt_.burst);
+    for (; index < burst_end; ++index) {
+      offered_.fetch_add(1, std::memory_order_relaxed);
+      const auto idx = static_cast<std::uint32_t>(index);
+      if (sink(idx)) {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (opt_.drop_on_backpressure) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      while (!sink(idx)) std::this_thread::yield();
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SnapshotFeed::start(Sink sink) {
+  if (thread_.joinable())
+    throw std::logic_error("SnapshotFeed: already started");
+  thread_ = std::thread([this, sink = std::move(sink)] { run(sink); });
+}
+
+void SnapshotFeed::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace figret::traffic

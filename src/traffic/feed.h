@@ -1,0 +1,75 @@
+// Snapshot feed: replays a trace's index range onto a sink (in practice the
+// serving loop's snapshot ring) with configurable pacing and burstiness —
+// the arrival process of a streaming TE controller.
+//
+// The feed owns *when* snapshots arrive; the sink owns *what happens* when
+// one does (accept, or reject on backpressure). With rate == 0 the feed
+// offers indices as fast as the sink accepts them (the batch-evaluation
+// mode: "trace fed at infinite speed"); with rate > 0 arrival events are
+// paced at `rate` snapshots/second in bursts of `burst` indices with
+// optional uniform jitter on the inter-event gaps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace figret::traffic {
+
+class SnapshotFeed {
+ public:
+  /// Returns true when the snapshot was accepted. A false return is counted
+  /// as dropped when `drop_on_backpressure`, otherwise the feed retries the
+  /// same index (yielding between attempts) until accepted.
+  using Sink = std::function<bool(std::uint32_t index)>;
+
+  struct Options {
+    /// Trace index range [begin, end) to replay, in order.
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /// Mean arrival rate in snapshots/second; 0 = as fast as accepted.
+    double rate = 0.0;
+    /// Indices released per arrival event (>= 1).
+    std::size_t burst = 1;
+    /// Uniform jitter fraction in [0, 1): each inter-event gap is scaled by
+    /// a factor drawn from [1 - jitter, 1 + jitter).
+    double jitter = 0.0;
+    /// When true, a sink rejection drops the snapshot (lossy arrival);
+    /// when false the feed blocks until the sink accepts (lossless replay).
+    bool drop_on_backpressure = false;
+    std::uint64_t seed = 1;
+  };
+
+  explicit SnapshotFeed(const Options& opt);
+  ~SnapshotFeed();
+
+  SnapshotFeed(const SnapshotFeed&) = delete;
+  SnapshotFeed& operator=(const SnapshotFeed&) = delete;
+
+  /// Blocking replay on the calling thread.
+  void run(const Sink& sink);
+
+  /// Background replay; join() waits for the replay to finish.
+  void start(Sink sink);
+  void join();
+
+  std::uint64_t offered() const noexcept {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options opt_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace figret::traffic

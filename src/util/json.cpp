@@ -1,0 +1,159 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace figret::util {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips every double; trim to the shortest representation that
+  // still parses back exactly.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+Json Json::object() {
+  Json j;
+  j.v_ = Object{};
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.v_ = Array{};
+  return j;
+}
+
+bool Json::is_object() const noexcept {
+  return std::holds_alternative<Object>(v_);
+}
+
+bool Json::is_array() const noexcept { return std::holds_alternative<Array>(v_); }
+
+std::size_t Json::size() const noexcept {
+  if (const auto* o = std::get_if<Object>(&v_)) return o->size();
+  if (const auto* a = std::get_if<Array>(&v_)) return a->size();
+  return 0;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  auto* obj = std::get_if<Object>(&v_);
+  if (obj == nullptr) throw std::logic_error("Json::set on a non-object");
+  for (auto& [k, v] : *obj) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj->emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  auto* arr = std::get_if<Array>(&v_);
+  if (arr == nullptr) throw std::logic_error("Json::push on a non-array");
+  arr->push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(indent > 0 ? indent * (depth + 1) : 0, ' ');
+  const std::string close_pad(indent > 0 ? indent * depth : 0, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+
+  if (std::holds_alternative<std::nullptr_t>(v_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&v_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&v_)) {
+    append_double(out, *d);
+  } else if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&v_)) {
+    append_escaped(out, *s);
+  } else if (const auto* a = std::get_if<Array>(&v_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      out += (i == 0 ? "" : ",");
+      out += nl;
+      out += pad;
+      (*a)[i].dump_to(out, indent, depth + 1);
+    }
+    out += nl;
+    out += close_pad;
+    out += ']';
+  } else if (const auto* o = std::get_if<Object>(&v_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < o->size(); ++i) {
+      out += (i == 0 ? "" : ",");
+      out += nl;
+      out += pad;
+      append_escaped(out, (*o)[i].first);
+      out += kv_sep;
+      (*o)[i].second.dump_to(out, indent, depth + 1);
+    }
+    out += nl;
+    out += close_pad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::write_file(const std::string& path, int indent) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Json::write_file: cannot open " + path);
+  os << dump(indent) << "\n";
+  if (!os) throw std::runtime_error("Json::write_file: write failed: " + path);
+}
+
+}  // namespace figret::util

@@ -1,0 +1,61 @@
+// Minimal JSON document builder for the machine-readable BENCH_*.json
+// artifacts: insertion-ordered objects, arrays, and scalars, serialized with
+// round-trippable doubles. Writing only — the benches emit, external tooling
+// parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace figret::util {
+
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  static Json object();
+  static Json array();
+
+  /// Object insert/overwrite (keys keep first-insertion order). Throws
+  /// std::logic_error when this Json is not an object.
+  Json& set(const std::string& key, Json value);
+  /// Array append. Throws std::logic_error when this Json is not an array.
+  Json& push(Json value);
+
+  bool is_object() const noexcept;
+  bool is_array() const noexcept;
+  std::size_t size() const noexcept;  // members/elements; 0 for scalars
+
+  /// Serializes; indent > 0 pretty-prints, 0 emits a single line.
+  /// NaN/inf doubles serialize as null (JSON has no representation).
+  std::string dump(int indent = 2) const;
+
+  /// Writes dump() plus a trailing newline; throws std::runtime_error on
+  /// I/O failure.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Array = std::vector<Json>;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               Array, Object>
+      v_;
+};
+
+}  // namespace figret::util

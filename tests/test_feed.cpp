@@ -1,0 +1,126 @@
+#include "traffic/feed.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace figret::traffic {
+namespace {
+
+TEST(SnapshotFeed, MaxSpeedReplaysEveryIndexInOrder) {
+  SnapshotFeed::Options opt;
+  opt.begin = 10;
+  opt.end = 200;
+  opt.rate = 0.0;  // as fast as the sink accepts
+  SnapshotFeed feed(opt);
+  std::vector<std::uint32_t> got;
+  feed.run([&](std::uint32_t idx) {
+    got.push_back(idx);
+    return true;
+  });
+  ASSERT_EQ(got.size(), 190u);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], 10u + i);
+  EXPECT_EQ(feed.offered(), 190u);
+  EXPECT_EQ(feed.accepted(), 190u);
+  EXPECT_EQ(feed.dropped(), 0u);
+}
+
+TEST(SnapshotFeed, DropOnBackpressureCountsRejections) {
+  SnapshotFeed::Options opt;
+  opt.begin = 0;
+  opt.end = 100;
+  opt.drop_on_backpressure = true;
+  SnapshotFeed feed(opt);
+  // Sink rejects every third offer.
+  std::uint32_t n = 0;
+  feed.run([&](std::uint32_t) { return ++n % 3 != 0; });
+  EXPECT_EQ(feed.offered(), 100u);
+  EXPECT_EQ(feed.accepted() + feed.dropped(), 100u);
+  EXPECT_EQ(feed.dropped(), 33u);
+}
+
+TEST(SnapshotFeed, LosslessModeRetriesUntilAccepted) {
+  SnapshotFeed::Options opt;
+  opt.begin = 0;
+  opt.end = 50;
+  opt.drop_on_backpressure = false;
+  SnapshotFeed feed(opt);
+  // Rejects each index once, accepts on retry.
+  std::uint32_t last = UINT32_MAX;
+  std::vector<std::uint32_t> got;
+  feed.run([&](std::uint32_t idx) {
+    if (idx != last) {
+      last = idx;
+      return false;
+    }
+    got.push_back(idx);
+    return true;
+  });
+  ASSERT_EQ(got.size(), 50u);
+  EXPECT_EQ(feed.accepted(), 50u);
+  EXPECT_EQ(feed.dropped(), 0u);
+}
+
+TEST(SnapshotFeed, PacedReplayTakesAtLeastTheScheduledTime) {
+  // 40 snapshots at 1000/s in bursts of 4 => 10 inter-burst gaps of 4ms
+  // (the first burst fires immediately): >= ~36ms. Only a loose lower bound
+  // is asserted — upper bounds would flake on loaded CI machines.
+  SnapshotFeed::Options opt;
+  opt.begin = 0;
+  opt.end = 40;
+  opt.rate = 1000.0;
+  opt.burst = 4;
+  SnapshotFeed feed(opt);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t n = 0;
+  feed.run([&](std::uint32_t) {
+    ++n;
+    return true;
+  });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(n, 40u);
+  EXPECT_GE(elapsed, 0.030);
+}
+
+TEST(SnapshotFeed, BackgroundStartJoinDeliversAll) {
+  SnapshotFeed::Options opt;
+  opt.begin = 5;
+  opt.end = 105;
+  SnapshotFeed feed(opt);
+  std::vector<std::uint32_t> got;
+  feed.start([&](std::uint32_t idx) {
+    got.push_back(idx);
+    return true;
+  });
+  feed.join();
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_EQ(got.front(), 5u);
+  EXPECT_EQ(got.back(), 104u);
+}
+
+TEST(SnapshotFeed, ValidatesOptions) {
+  SnapshotFeed::Options opt;
+  opt.begin = 10;
+  opt.end = 5;  // inverted range
+  EXPECT_THROW(SnapshotFeed feed(opt), std::invalid_argument);
+  opt.end = 20;
+  opt.burst = 0;
+  EXPECT_THROW(SnapshotFeed feed(opt), std::invalid_argument);
+  opt.burst = 1;
+  opt.jitter = 1.5;
+  EXPECT_THROW(SnapshotFeed feed(opt), std::invalid_argument);
+  opt.jitter = -0.1;
+  EXPECT_THROW(SnapshotFeed feed(opt), std::invalid_argument);
+  opt.jitter = 0.0;
+  opt.rate = -3.0;
+  EXPECT_THROW(SnapshotFeed feed(opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace figret::traffic

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "net/topology.h"
 #include "net/yen.h"
@@ -230,6 +231,48 @@ TEST(Harness, EnginesAgreeOnOmniscientNormalizer) {
   for (std::size_t i = 0; i < d.size(); ++i) {
     EXPECT_NEAR(d[i], c[i], 1e-6 * (1.0 + d[i])) << "slot " << i;
     EXPECT_NEAR(d[i], w[i], 1e-6 * (1.0 + d[i])) << "slot " << i;
+  }
+}
+
+TEST(Harness, ConcurrentEvaluatesMatchSerial) {
+  // Regression for the warm-start chain ownership bug: two threads calling
+  // evaluate() on one shared Harness (omniscient not yet materialized, so
+  // both racers hit the lazy LP sweep) must produce exactly the results of
+  // serial evaluation. Per-worker warm chains plus the omniscient mutex make
+  // lineage interleaving structurally impossible.
+  const PathSet ps = mesh_pathset(4);
+  const traffic::TrafficTrace trace = traffic::dc_tor_trace(4, 80, 23);
+  Harness::Options opt;
+  opt.max_window = 12;
+  opt.threads = 2;
+
+  // Serial reference.
+  Harness ref(ps, trace, opt);
+  PredictionTe ref_pred(ps);
+  DesensitizationTe ref_des(ps);
+  const SchemeEval want_pred = ref.evaluate(ref_pred);
+  const SchemeEval want_des = ref.evaluate(ref_des);
+
+  for (int round = 0; round < 3; ++round) {
+    Harness h(ps, trace, opt);  // fresh: omniscient materializes under race
+    PredictionTe pred(ps);
+    DesensitizationTe des(ps);
+    SchemeEval got_pred, got_des;
+    std::thread t1([&] { got_pred = h.evaluate(pred); });
+    std::thread t2([&] { got_des = h.evaluate(des); });
+    t1.join();
+    t2.join();
+
+    ASSERT_EQ(got_pred.normalized.size(), want_pred.normalized.size());
+    ASSERT_EQ(got_des.normalized.size(), want_des.normalized.size());
+    for (std::size_t i = 0; i < want_pred.normalized.size(); ++i) {
+      EXPECT_EQ(got_pred.raw_mlu[i], want_pred.raw_mlu[i]) << "slot " << i;
+      EXPECT_EQ(got_pred.normalized[i], want_pred.normalized[i])
+          << "slot " << i;
+      EXPECT_EQ(got_des.raw_mlu[i], want_des.raw_mlu[i]) << "slot " << i;
+      EXPECT_EQ(got_des.normalized[i], want_des.normalized[i])
+          << "slot " << i;
+    }
   }
 }
 

@@ -1,0 +1,85 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace figret::util {
+namespace {
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(Json().dump(0), "null");
+  EXPECT_EQ(Json(true).dump(0), "true");
+  EXPECT_EQ(Json(false).dump(0), "false");
+  EXPECT_EQ(Json(42).dump(0), "42");
+  EXPECT_EQ(Json(-7).dump(0), "-7");
+  EXPECT_EQ(Json("hi").dump(0), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(0), "1.5");
+}
+
+TEST(Json, DoublesRoundTrip) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-300, 123456.789, 2.0}) {
+    const std::string s = Json(v).dump(0);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(0), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(0), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").dump(0), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(0), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndOverwrite) {
+  Json o = Json::object();
+  o.set("b", 1).set("a", 2).set("b", 3);
+  EXPECT_TRUE(o.is_object());
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_EQ(o.dump(0), "{\"b\":3,\"a\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json a = Json::array();
+  a.push(1).push("two").push(Json::object().set("k", 3.5));
+  EXPECT_TRUE(a.is_array());
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.dump(0), "[1,\"two\",{\"k\":3.5}]");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json o = Json::object();
+  o.set("xs", Json::array().push(1).push(2));
+  EXPECT_EQ(o.dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.set("k", 2), std::logic_error);
+  EXPECT_THROW(scalar.push(2), std::logic_error);
+  EXPECT_THROW(Json::array().set("k", 2), std::logic_error);
+  EXPECT_THROW(Json::object().push(2), std::logic_error);
+}
+
+TEST(Json, WriteFileEmitsTrailingNewline) {
+  const std::string path = ::testing::TempDir() + "figret_json_test.json";
+  Json::object().set("ok", true).write_file(path, 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "{\"ok\":true}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace figret::util
