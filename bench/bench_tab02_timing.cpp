@@ -15,8 +15,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -253,6 +255,123 @@ int main(int argc, char** argv) {
   et.print(std::cout);
   jout.set("lp_engine_sweep", std::move(jengines));
 
+  // RHS-only perturbation chains (failure-masked capacities): the workload
+  // the dual simplex exists for. The LP is built once per network; each
+  // step rewrites only capacity-row right-hand sides — structure, hence the
+  // warm-start signature, never changes — so the previous optimal basis
+  // stays dual feasible and every warm resolve must route through the dual
+  // simplex (or stay primal feasible) with zero cold fallbacks. The bench
+  // enforces that invariant: any fallback past the priming solve is a bug.
+  std::cout << "\nRHS-only perturbation chains "
+            << "(failure-masked capacities, serial):\n";
+  util::Table rt({"network", "steps", "cold (s)", "cold pivots",
+                  "dual-warm (s)", "warm pivots", "dual pivots", "fallbacks",
+                  "speedup"});
+  util::Json jchain = util::Json::array();
+  struct ChainRecord {
+    std::string network;
+    std::size_t warm_pivots = 0;
+  };
+  std::vector<ChainRecord> chain_records;
+  bool chain_failed = false;
+  for (auto& ts : scenarios()) {
+    const auto& dm = ts.sc.trace.snapshots.back();
+    lp::LpProblem prob = te::build_mlu_lp(ts.sc.ps, dm);
+    const std::size_t u_var = prob.num_variables() - 1;
+    // Capacity rows (kLessEq) and their capacities (the -c_e term on U).
+    std::vector<std::size_t> cap_rows;
+    std::vector<double> cap_of;
+    for (std::size_t r = 0; r < prob.rows().size(); ++r) {
+      const auto& row = prob.rows()[r];
+      if (row.rel != lp::Relation::kLessEq) continue;
+      double ce = 0.0;
+      for (const auto& term : row.terms)
+        if (term.var == u_var) ce = -term.coeff;
+      cap_rows.push_back(r);
+      cap_of.push_back(ce);
+    }
+    const te::MluLpResult base = te::solve_mlu_lp(ts.sc.ps, dm);
+    if (!base.optimal()) throw std::runtime_error("rhs chain: base LP failed");
+    const double mlu0 = std::max(base.mlu, 1e-9);
+
+    const std::size_t steps = bench::full_mode() ? 16 : 12;
+    // Every step keeps every capacity rhs *strictly negative*: a tiny
+    // uniform tightening plus a ~10% failure mask of up to 5% of c_e * MLU.
+    // Strict negativity matters — the engines normalize rows to rhs >= 0 by
+    // negation, so a row crossing zero would flip its relation and break
+    // the chain's signature compatibility. Deterministic splitmix/LCG per
+    // (step, row) keeps runs reproducible across machines.
+    auto perturb = [&](std::size_t step) {
+      std::uint64_t s = 0x9e3779b97f4a7c15ULL * (step + 1);
+      for (std::size_t k = 0; k < cap_rows.size(); ++k) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        const double u01 =
+            static_cast<double>((s >> 11) & 0x1fffff) / 2097151.0;
+        double h = 1e-6 * cap_of[k] * mlu0;
+        if (u01 < 0.1) h += (u01 * 10.0) * 0.05 * cap_of[k] * mlu0;
+        prob.set_rhs(cap_rows[k], -h);
+      }
+    };
+
+    lp::SolverOptions revised_opt;
+    struct ChainRun {
+      double seconds = 0.0;
+      std::size_t pivots = 0, dual_pivots = 0, fallbacks = 0, warm_used = 0,
+                  dual_used = 0;
+    };
+    auto chain = [&](bool warm_chain) {
+      ChainRun run;
+      lp::WarmStart warm;
+      const auto t0 = Clock::now();
+      for (std::size_t step = 0; step < steps; ++step) {
+        perturb(step);
+        lp::SolveStats st;
+        const lp::LpResult res = lp::solve_with(
+            prob, revised_opt, warm_chain ? &warm : nullptr, &st);
+        if (!res.optimal()) throw std::runtime_error("rhs chain LP failed");
+        run.pivots += st.pivots;
+        run.dual_pivots += st.dual_pivots;
+        if (st.warm_start_used) ++run.warm_used;
+        if (st.dual_simplex_used) ++run.dual_used;
+        if (st.fallback != lp::WarmFallback::kNone) ++run.fallbacks;
+      }
+      run.seconds = seconds_since(t0);
+      return run;
+    };
+    const ChainRun cold = chain(false);
+    const ChainRun hot = chain(true);
+    rt.add_row({ts.sc.name, std::to_string(steps), util::fmt(cold.seconds, 3),
+                std::to_string(cold.pivots), util::fmt(hot.seconds, 3),
+                std::to_string(hot.pivots), std::to_string(hot.dual_pivots),
+                std::to_string(hot.fallbacks),
+                util::fmt(hot.seconds > 0.0 ? cold.seconds / hot.seconds : 0.0,
+                          2)});
+    jchain.push(
+        util::Json::object()
+            .set("network", ts.sc.name)
+            .set("steps", static_cast<std::int64_t>(steps))
+            .set("capacity_rows", static_cast<std::int64_t>(cap_rows.size()))
+            .set("cold_seconds", cold.seconds)
+            .set("cold_pivots", static_cast<std::int64_t>(cold.pivots))
+            .set("dual_warm_seconds", hot.seconds)
+            .set("warm_pivots", static_cast<std::int64_t>(hot.pivots))
+            .set("dual_pivots", static_cast<std::int64_t>(hot.dual_pivots))
+            .set("warm_used_steps", static_cast<std::int64_t>(hot.warm_used))
+            .set("dual_steps", static_cast<std::int64_t>(hot.dual_used))
+            .set("cold_fallbacks", static_cast<std::int64_t>(hot.fallbacks))
+            .set("speedup_vs_cold",
+                 hot.seconds > 0.0 ? cold.seconds / hot.seconds : 0.0));
+    chain_records.push_back({ts.sc.name, hot.pivots});
+    if (hot.fallbacks != 0 || hot.warm_used != steps - 1) {
+      chain_failed = true;
+      std::cout << "ERROR: " << ts.sc.name << " RHS chain fell back cold ("
+                << hot.fallbacks << " fallbacks, " << hot.warm_used << "/"
+                << (steps - 1) << " warm resolves)\n";
+    }
+  }
+  rt.print(std::cout);
+  jout.set("rhs_chain", std::move(jchain));
+
   // Parallel evaluation engine: the omniscient-normalizer LP solves are the
   // dominant cost of a full harness evaluation; time them serial vs pooled.
   // Per-snapshot results are bit-identical (tests/test_harness.cpp asserts
@@ -294,5 +413,51 @@ int main(int argc, char** argv) {
   jout.set("parallel_normalizer", std::move(jparallel));
   jout.write_file("BENCH_tab02_timing.json", 2);
   std::cout << "\nmachine-readable results: BENCH_tab02_timing.json\n";
-  return 0;
+
+  // CI regression smoke: FIGRET_BENCH_REFERENCE points at a committed
+  // BENCH_tab02_timing.json; fail when a dual-warm chain now needs more
+  // than 3x the reference pivot count (+ a small grace for tiny counts).
+  // util::Json is a writer, so the reference is string-scanned: locate the
+  // "rhs_chain" array, then each network's "warm_pivots" within it.
+  int rc = chain_failed ? 1 : 0;
+  if (const char* ref_path = std::getenv("FIGRET_BENCH_REFERENCE")) {
+    std::ifstream in(ref_path);
+    if (!in) {
+      std::cout << "ERROR: cannot read bench reference " << ref_path << "\n";
+      rc = 1;
+    } else {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const std::string ref = buf.str();
+      const std::size_t chain_at = ref.find("\"rhs_chain\"");
+      for (const ChainRecord& cur : chain_records) {
+        std::size_t ref_pivots = static_cast<std::size_t>(-1);
+        if (chain_at != std::string::npos) {
+          const std::size_t net_at = ref.find(
+              "\"network\": \"" + cur.network + "\"", chain_at);
+          if (net_at != std::string::npos) {
+            const std::size_t piv_at = ref.find("\"warm_pivots\":", net_at);
+            if (piv_at != std::string::npos)
+              ref_pivots = static_cast<std::size_t>(
+                  std::strtoull(ref.c_str() + piv_at + 14, nullptr, 10));
+          }
+        }
+        if (ref_pivots == static_cast<std::size_t>(-1)) {
+          std::cout << "ERROR: reference has no rhs_chain warm_pivots for "
+                    << cur.network << "\n";
+          rc = 1;
+        } else if (cur.warm_pivots > 3 * ref_pivots + 48) {
+          std::cout << "ERROR: " << cur.network
+                    << " dual-warm pivots regressed: " << cur.warm_pivots
+                    << " vs reference " << ref_pivots << "\n";
+          rc = 1;
+        } else {
+          std::cout << "reference check " << cur.network << ": warm pivots "
+                    << cur.warm_pivots << " vs reference " << ref_pivots
+                    << " — ok\n";
+        }
+      }
+    }
+  }
+  return rc;
 }

@@ -1,0 +1,303 @@
+#include "lp/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace figret::lp {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}
+
+bool LuFactorization::factorize(const SparseMatrix& A,
+                                const std::vector<std::uint32_t>& basis,
+                                Options opt) {
+  opt_ = opt;
+  m_ = basis.size();
+  valid_ = false;
+  updates_ = 0;
+  have_spike_ = false;
+  lcols_.clear();
+  retas_.clear();
+  urows_.assign(m_, URow{});
+  order_.clear();
+  order_.reserve(m_);
+  pos_.assign(m_, 0);
+  colversion_.assign(m_, 0);
+  if (m_ == 0) {
+    valid_ = true;
+    return true;
+  }
+  lcols_.reserve(m_);
+
+  // Working copy of the basis columns, plus a row -> slots index so the
+  // elimination of a pivot row touches only the columns that actually carry
+  // it. row_slots may hold stale ids (removed entries); they are skipped when
+  // the lookup misses. rowcount is a fill heuristic, kept approximate.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> cols(m_);
+  std::vector<std::vector<std::uint32_t>> row_slots(m_);
+  std::vector<std::uint32_t> rowcount(m_, 0);
+  for (std::size_t j = 0; j < m_; ++j) {
+    const auto rows = A.col_rows(basis[j]);
+    const auto vals = A.col_values(basis[j]);
+    cols[j].reserve(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      cols[j].emplace_back(rows[k], vals[k]);
+      row_slots[rows[k]].push_back(static_cast<std::uint32_t>(j));
+      ++rowcount[rows[k]];
+    }
+  }
+
+  std::vector<bool> col_done(m_, false);
+  // Scatter workspace for sparse column combinations.
+  std::vector<double> dval(m_, 0.0);
+  std::vector<bool> dset(m_, false);
+  std::vector<bool> inold(m_, false);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(64);
+
+  for (std::size_t step = 0; step < m_; ++step) {
+    // Markowitz-style pivot choice: among active columns of minimal length,
+    // the entry with the shortest row that passes threshold partial
+    // pivoting. Unit (slack) columns win immediately with zero fill.
+    std::size_t pj = kNone, pr = kNone;
+    double pv = 0.0;
+    std::size_t best_nnz = kNone;
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (col_done[j]) continue;
+      const auto& c = cols[j];
+      if (c.size() >= best_nnz) continue;
+      double cmax = 0.0;
+      for (const auto& [row, val] : c) cmax = std::max(cmax, std::abs(val));
+      if (cmax < opt_.abs_pivot_tol) continue;  // unusable (for now) column
+      const double thresh =
+          std::max(opt_.abs_pivot_tol, opt_.rel_pivot_tol * cmax);
+      std::size_t cand_r = kNone;
+      double cand_v = 0.0;
+      std::uint32_t cand_rc = std::numeric_limits<std::uint32_t>::max();
+      for (const auto& [row, val] : c) {
+        if (std::abs(val) < thresh) continue;
+        if (rowcount[row] < cand_rc ||
+            (rowcount[row] == cand_rc && std::abs(val) > std::abs(cand_v))) {
+          cand_rc = rowcount[row];
+          cand_r = row;
+          cand_v = val;
+        }
+      }
+      if (cand_r == kNone) continue;
+      pj = j;
+      pr = cand_r;
+      pv = cand_v;
+      best_nnz = c.size();
+      if (best_nnz <= 1) break;  // a singleton column cannot be beaten
+    }
+    if (pj == kNone) return false;  // no usable pivot anywhere: singular
+
+    LCol lc;
+    lc.pivot_row = static_cast<std::uint32_t>(pr);
+    for (const auto& [row, val] : cols[pj]) {
+      if (row == pr) continue;
+      lc.mults.emplace_back(row, val / pv);
+    }
+    URow& ur = urows_[pj];
+    ur.pivot_row = static_cast<std::uint32_t>(pr);
+    ur.diag = pv;
+
+    // Eliminate row pr from every other active column carrying it. The
+    // removed entries are exactly this pivot's U row.
+    for (const std::uint32_t c : row_slots[pr]) {
+      if (c == pj || col_done[c]) continue;
+      auto& col = cols[c];
+      std::size_t at = kNone;
+      for (std::size_t k = 0; k < col.size(); ++k) {
+        if (col[k].first == pr) {
+          at = k;
+          break;
+        }
+      }
+      if (at == kNone) continue;  // stale index entry
+      const double vr = col[at].second;
+      col[at] = col.back();
+      col.pop_back();
+      ur.entries.push_back({c, 0, vr});
+      if (lc.mults.empty() || vr == 0.0) continue;
+
+      // col -= vr * L column, via scatter/gather with relative drops.
+      touched.clear();
+      for (const auto& [row, val] : col) {
+        dval[row] = val;
+        dset[row] = true;
+        inold[row] = true;
+        touched.push_back(row);
+      }
+      for (const auto& [row, mult] : lc.mults) {
+        if (!dset[row]) {
+          dset[row] = true;
+          dval[row] = 0.0;
+          touched.push_back(row);
+        }
+        dval[row] -= mult * vr;
+      }
+      double cmax = 0.0;
+      for (const std::uint32_t row : touched)
+        cmax = std::max(cmax, std::abs(dval[row]));
+      const double drop = opt_.drop_tol * cmax;
+      col.clear();
+      for (const std::uint32_t row : touched) {
+        const double v = dval[row];
+        if (std::abs(v) > drop) {
+          col.emplace_back(row, v);
+          if (!inold[row]) {
+            row_slots[row].push_back(c);
+            ++rowcount[row];
+          }
+        }
+        dval[row] = 0.0;
+        dset[row] = false;
+        inold[row] = false;
+      }
+    }
+
+    col_done[pj] = true;
+    cols[pj].clear();
+    row_slots[pr].clear();
+    order_.push_back(static_cast<std::uint32_t>(pj));
+    lcols_.push_back(std::move(lc));
+  }
+  for (std::size_t k = 0; k < m_; ++k) pos_[order_[k]] = static_cast<std::uint32_t>(k);
+  valid_ = true;
+  return true;
+}
+
+std::size_t LuFactorization::fill_nnz() const noexcept {
+  std::size_t n = retas_.size();
+  for (const LCol& lc : lcols_) n += lc.mults.size();
+  for (const URow& ur : urows_) n += 1 + ur.entries.size();
+  return n;
+}
+
+void LuFactorization::ftran(std::vector<double>& v, bool save_spike) {
+  for (const LCol& lc : lcols_) {
+    const double t = v[lc.pivot_row];
+    if (t == 0.0) continue;
+    for (const auto& [row, mult] : lc.mults) v[row] -= mult * t;
+  }
+  for (const REta& re : retas_) v[re.target] -= re.mult * v[re.source];
+  if (save_spike) {
+    spike_ = v;
+    have_spike_ = true;
+  }
+  // Back substitution on U, from the last pivot up: every entry of a row
+  // references a later-ordered slot, already solved.
+  work_.assign(m_, 0.0);
+  for (std::size_t k = m_; k-- > 0;) {
+    const std::uint32_t slot = order_[k];
+    const URow& ur = urows_[slot];
+    double s = v[ur.pivot_row];
+    for (const UEntry& e : ur.entries)
+      if (live(e)) s -= e.value * work_[e.slot];
+    work_[slot] = s / ur.diag;
+  }
+  v.swap(work_);
+}
+
+void LuFactorization::btran(std::vector<double>& v) {
+  // Solve U' z = v by forward substitution in pivot order, scattering each
+  // solved component into the still-unsolved residuals.
+  work_.assign(m_, 0.0);
+  for (std::size_t k = 0; k < m_; ++k) {
+    const std::uint32_t slot = order_[k];
+    const URow& ur = urows_[slot];
+    const double zk = v[slot] / ur.diag;
+    work_[ur.pivot_row] = zk;
+    if (zk == 0.0) continue;
+    for (const UEntry& e : ur.entries)
+      if (live(e)) v[e.slot] -= e.value * zk;
+  }
+  // Transposed update row-etas, then transposed L columns, both in reverse.
+  for (auto it = retas_.rbegin(); it != retas_.rend(); ++it)
+    work_[it->source] -= it->mult * work_[it->target];
+  for (auto it = lcols_.rbegin(); it != lcols_.rend(); ++it) {
+    double acc = work_[it->pivot_row];
+    for (const auto& [row, mult] : it->mults) acc -= mult * work_[row];
+    work_[it->pivot_row] = acc;
+  }
+  v.swap(work_);
+}
+
+bool LuFactorization::update(std::uint32_t slot, double pivot_estimate) {
+  if (!valid_ || !have_spike_) return false;
+  have_spike_ = false;
+  ++updates_;
+  const std::uint32_t t = pos_[slot];
+  const std::uint32_t r = urows_[slot].pivot_row;
+
+  // The spike replaces column `slot` of U: stale out the old column ...
+  ++colversion_[slot];
+  double smax = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) smax = std::max(smax, std::abs(spike_[i]));
+  const double drop = opt_.drop_tol * smax;
+  // ... and insert the spike's entries into every other pivot row (each row
+  // of B belongs to exactly one pivot). With the pivot order rotated below,
+  // the spike column is ordered last, so all of these sit above the diagonal.
+  for (std::size_t q = 0; q < m_; ++q) {
+    if (q == slot) continue;
+    const double val = spike_[urows_[q].pivot_row];
+    if (std::abs(val) > drop)
+      urows_[q].entries.push_back(
+          {slot, colversion_[slot], val});
+  }
+
+  // Re-eliminate the spiked row r (Forrest–Tomlin): its old entries all
+  // reference slots ordered after t; subtracting each such pivot row in order
+  // annihilates them (fill lands on later slots and is annihilated in turn),
+  // leaving only the new diagonal in the spike column. The row operations are
+  // recorded as etas on the L side.
+  if (m_ > dwork_.size()) dwork_.assign(m_, 0.0);
+  dwork_[slot] = spike_[r];
+  for (const UEntry& e : urows_[slot].entries)
+    if (live(e)) dwork_[e.slot] += e.value;
+  for (std::size_t k = t + 1; k < m_; ++k) {
+    const std::uint32_t q = order_[k];
+    const double piv = dwork_[q];
+    dwork_[q] = 0.0;
+    if (piv == 0.0) continue;
+    const URow& uq = urows_[q];
+    const double mu = piv / uq.diag;
+    retas_.push_back({r, uq.pivot_row, mu});
+    for (const UEntry& e : uq.entries)
+      if (live(e)) dwork_[e.slot] -= mu * e.value;
+  }
+  const double newdiag = dwork_[slot];
+  dwork_[slot] = 0.0;
+  if (!(std::abs(newdiag) > opt_.abs_pivot_tol)) {
+    // Unsafe replacement pivot: the factorization is no longer usable. The
+    // caller refactorizes from scratch, which discards all of the state the
+    // steps above touched.
+    valid_ = false;
+    return false;
+  }
+  // Forrest–Tomlin accuracy test (see header): the re-eliminated diagonal
+  // and the caller's FTRAN'd pivot entry must tell the same story. A
+  // disagreement means the factorization has drifted — most dangerously,
+  // that a replacement column which is actually dependent on the rest of the
+  // basis slipped past the pivot tolerance. Refuse, so the caller rebuilds
+  // before any iterate trusts the corrupt inverse.
+  const double expect = std::abs(pivot_estimate) * std::abs(urows_[slot].diag);
+  const double got = std::abs(newdiag);
+  if (std::abs(got - expect) > 1e-5 * std::max(got, expect)) {
+    valid_ = false;
+    return false;
+  }
+
+  // Cyclic rotation of the pivot order: the replaced slot moves last.
+  order_.erase(order_.begin() + t);
+  order_.push_back(slot);
+  for (std::size_t k = t; k < m_; ++k) pos_[order_[k]] = static_cast<std::uint32_t>(k);
+  urows_[slot].diag = newdiag;
+  urows_[slot].entries.clear();
+  return true;
+}
+
+}  // namespace figret::lp

@@ -6,29 +6,33 @@
 #include <utility>
 #include <vector>
 
+#include "lp/lu.h"
 #include "lp/sparse.h"
 
 namespace figret::lp {
 namespace {
 
-// Eta entries smaller than this are dropped; the periodic refactorization
-// and the pre-optimality rebuild bound the accumulated error.
-constexpr double kEtaDrop = 1e-13;
+// Basis-LU numerics: a pivot below kSingularTol makes the basis singular;
+// candidate pivots must also reach kRelPivotTol of their column's largest
+// entry (threshold partial pivoting); entries below kLuDrop *relative to the
+// vector being compacted* are dropped — relative, never absolute, so
+// ill-scaled LPs keep the entries that matter (the old eta file's absolute
+// 1e-13 drop was a documented bug).
 constexpr double kSingularTol = 1e-10;
+constexpr double kRelPivotTol = 0.01;
+constexpr double kLuDrop = 1e-14;
 
-// One elementary matrix of the product-form inverse: identity except column
-// `pivot_row`, which holds 1/w_r on the diagonal and -w_i/w_r elsewhere.
-struct Eta {
-  std::uint32_t pivot_row = 0;
-  double pivot_value = 0.0;
-  std::vector<std::pair<std::uint32_t, double>> entries;
-};
+// Devex reference weights are reset to 1 when the largest weight outgrows
+// this bound (Forrest & Goldfarb's safeguard against weight blow-up).
+constexpr double kDevexReset = 1e8;
 
 class RevisedSimplex {
  public:
   using VarState = WarmStart::VarState;
 
-  RevisedSimplex(const LpProblem& p, const SolverOptions& opt) : opt_(opt) {
+  RevisedSimplex(const LpProblem& p, const SolverOptions& opt)
+      : opt_(opt),
+        beta_clamp_(beta_clamp(opt.simplex.feasibility_tolerance)) {
     const std::size_t n = p.num_variables();
     const std::size_t m = p.num_constraints();
     n_struct_ = n;
@@ -127,10 +131,10 @@ class RevisedSimplex {
 
   LpResult run(WarmStart* warm, SolveStats* stats) {
     LpResult result;
-    bool warm_ok = try_warm_start(warm);
-    if (!warm_ok) cold_init();
+    const WarmPrime prime = try_warm_start(warm);
 
-    if (!warm_ok) {
+    if (prime == WarmPrime::kCold) {
+      cold_init();
       // Phase 1: minimize the sum of artificial variables.
       if (art_begin_ < n_total_) {
         cost_.assign(n_total_, 0.0);
@@ -155,9 +159,27 @@ class RevisedSimplex {
         if (state_[j] == VarState::kNonbasicUpper)
           state_[j] = VarState::kNonbasicLower;
       }
+    } else if (prime == WarmPrime::kDual) {
+      // The warm basis is dual feasible but primal infeasible (the RHS-only
+      // resolve): the dual simplex restores primal feasibility in a handful
+      // of pivots. It is an accelerator, not an authority — any breakdown
+      // (stall, singular basis, apparent infeasibility under drifted
+      // tolerances) abandons the warm basis and the outer solve reruns cold.
+      stats_.dual_simplex_used = true;
+      cost_ = obj_;
+      const Status dst = dual_iterate();
+      if (dst != Status::kOptimal) {
+        dual_collapsed_ = true;
+        if (stats_.fallback == WarmFallback::kNone)
+          stats_.fallback = singular_ ? WarmFallback::kSingularBasis
+                                      : WarmFallback::kDualAborted;
+        result.status = Status::kIterationLimit;
+        return finish(result, warm, stats);
+      }
     }
 
-    // Phase 2: minimize the real objective.
+    // Phase 2: minimize the real objective. After a dual-simplex warm path
+    // this certifies optimality of the (now primal-feasible) basis.
     cost_ = obj_;
     const Status st = iterate(/*phase1=*/false);
     result.status = st;
@@ -169,85 +191,80 @@ class RevisedSimplex {
     return finish(result, warm, stats);
   }
 
-  bool singular() const noexcept { return singular_; }
-  bool warm_started() const noexcept { return stats_.warm_start_used; }
+  /// The warm basis was accepted but could not carry the solve home; the
+  /// caller must rerun cold (correctness never depends on the warm path).
+  bool needs_cold_retry() const noexcept {
+    return stats_.warm_start_used && (singular_ || dual_collapsed_);
+  }
 
  private:
+  enum class WarmPrime {
+    kCold,    // no usable warm basis: two-phase start
+    kPrimal,  // warm basis is primal feasible: straight to primal phase 2
+    kDual,    // warm basis is dual feasible only: dual simplex first
+  };
+
   // --- basis representation -------------------------------------------------
 
-  void ftran(std::vector<double>& v) const {
-    for (const Eta& e : etas_) {
-      const double t = v[e.pivot_row];
-      if (t == 0.0) continue;
-      v[e.pivot_row] = e.pivot_value * t;
-      for (const auto& [i, val] : e.entries) v[i] += val * t;
-    }
+  void ftran(std::vector<double>& v, bool save_spike = false) {
+    lu_.ftran(v, save_spike);
   }
+  void btran(std::vector<double>& v) { lu_.btran(v); }
 
-  void btran(std::vector<double>& v) const {
-    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-      const Eta& e = *it;
-      double acc = e.pivot_value * v[e.pivot_row];
-      for (const auto& [i, val] : e.entries) acc += val * v[i];
-      v[e.pivot_row] = acc;
-    }
-  }
-
-  void push_eta(std::uint32_t r, const std::vector<double>& w) {
-    Eta e;
-    e.pivot_row = r;
-    e.pivot_value = 1.0 / w[r];
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (i == r) continue;
-      const double val = -w[i] * e.pivot_value;
-      if (std::abs(val) > kEtaDrop)
-        e.entries.emplace_back(static_cast<std::uint32_t>(i), val);
-    }
-    // An exact identity eta (unit column re-entering its own row) is a
-    // no-op for FTRAN and BTRAN alike: keep the file short.
-    if (e.pivot_value == 1.0 && e.entries.empty()) return;
-    etas_.push_back(std::move(e));
-  }
-
-  /// Rebuilds the eta file for the current basis set from scratch via
-  /// Gauss-Jordan on the basis columns (each column "re-enters" on the
-  /// largest-magnitude unassigned row, which may permute the row
-  /// assignment). Returns false when the basis is numerically singular.
+  /// Rebuilds the LU factorization for the current basis (basis order is
+  /// preserved — slots keep their meaning). False: numerically singular.
   bool refactorize() {
     ++stats_.refactorizations;
-    std::vector<std::uint32_t> cols = basis_;
-    // Sparsest columns first: basic slacks/artificials are unit vectors and
-    // yield trivial (often skippable) etas, so the fill-in from structural
-    // columns stays contained — the difference between O(m^3) and roughly
-    // O(m * fill) rebuilds on the TE LPs, where most basics are slacks.
-    std::stable_sort(cols.begin(), cols.end(),
-                     [this](std::uint32_t a, std::uint32_t b) {
-                       return A_.col_rows(a).size() < A_.col_rows(b).size();
-                     });
-    etas_.clear();
-    std::vector<bool> row_used(m_, false);
-    std::vector<double> w(m_, 0.0);
-    for (const std::uint32_t c : cols) {
-      A_.scatter_col(c, w);
-      ftran(w);
-      std::size_t r = m_;
-      double best = kSingularTol;
-      for (std::size_t i = 0; i < m_; ++i) {
-        if (row_used[i]) continue;
-        const double a = std::abs(w[i]);
-        if (a > best) {
-          best = a;
-          r = i;
-        }
+    return lu_.factorize(A_, basis_,
+                         {kSingularTol, kRelPivotTol, kLuDrop});
+  }
+
+  /// Absorbs the pivot at `slot` (entering column FTRAN'd with
+  /// save_spike=true, whose value there was `alpha`) into the factorization:
+  /// a Forrest–Tomlin update when safe, a rebuild otherwise, plus the
+  /// periodic rebuild that bounds update-eta growth. False: the basis went
+  /// numerically singular.
+  bool apply_update(std::uint32_t slot, double alpha) {
+    if (lu_.update(slot, alpha)) {
+      ++stats_.ft_updates;
+#ifndef NDEBUG
+      // Debug builds validate every update against the basis it claims to
+      // represent: B^{-1} a_enter must be e_slot. A violation beyond noise
+      // means a (relative) drop lost an entry that mattered — rebuild
+      // instead of iterating on a wrong inverse.
+      if (!update_is_consistent(slot)) {
+        if (!refactorize()) return false;
+        compute_beta();
+        return true;
       }
-      if (r == m_) return false;
-      push_eta(static_cast<std::uint32_t>(r), w);
-      row_used[r] = true;
-      basis_[r] = c;
+#endif
+      if (lu_.updates_since_factorize() >= opt_.refactor_interval) {
+        if (!refactorize()) return false;
+        compute_beta();
+      }
+      return true;
     }
-    pivots_since_refactor_ = 0;
+    // Unsafe replacement pivot: the update refused and invalidated the
+    // factorization. Rebuild from the (already updated) basis.
+    if (!refactorize()) return false;
+    compute_beta();
     return true;
   }
+
+#ifndef NDEBUG
+  bool update_is_consistent(std::uint32_t slot) {
+    std::vector<double> v(m_, 0.0);
+    A_.scatter_col(basis_[slot], v);
+    lu_.ftran(v);
+    double err = 0.0, scale = 1.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double want = i == slot ? 1.0 : 0.0;
+      err = std::max(err, std::abs(v[i] - want));
+      scale = std::max(scale, std::abs(v[i]));
+    }
+    return err <= 1e-6 * scale;
+  }
+#endif
 
   /// beta = B^{-1} (b - sum of at-upper nonbasic columns at their bound).
   void compute_beta() {
@@ -263,38 +280,41 @@ class RevisedSimplex {
 
   void cold_init() {
     stats_.warm_start_used = false;
+    stats_.dual_simplex_used = false;
     for (std::size_t j = art_begin_; j < n_total_; ++j) ub_[j] = kInfinity;
     state_.assign(n_total_, VarState::kNonbasicLower);
     basis_ = init_basis_;
     for (const std::uint32_t c : basis_) state_[c] = VarState::kBasic;
-    etas_.clear();
-    pivots_since_refactor_ = 0;
-    beta_ = b_;  // all nonbasics at zero, initial basis is the identity
+    refactorize();  // all-logical start basis: identity, cannot fail
+    beta_ = b_;     // all nonbasics at zero
   }
 
-  bool try_warm_start(WarmStart* warm) {
-    if (!warm || !opt_.use_warm_start || !warm->has_basis()) return false;
+  WarmPrime try_warm_start(WarmStart* warm) {
+    if (!warm || !opt_.use_warm_start || !warm->has_basis())
+      return WarmPrime::kCold;
     // Probing costs a refactorization; back off when the handle keeps
     // missing (bursty traces whose bases never transfer).
-    if (!warm->should_attempt()) return false;
+    if (!warm->should_attempt()) return WarmPrime::kCold;
     stats_.warm_start_attempted = true;
-    auto reject = [&] {
-      warm->record_miss();
-      return false;
+    auto reject = [&](WarmFallback why) {
+      stats_.fallback = why;
+      warm->record_miss(why);
+      return WarmPrime::kCold;
     };
     if (!warm->compatible(n_struct_, n_total_, row_signature_))
-      return reject();
+      return reject(WarmFallback::kSignatureMismatch);
     if (warm->basis().size() != m_ || warm->state().size() != n_total_)
-      return reject();
+      return reject(WarmFallback::kBasisShapeMismatch);
 
     state_ = warm->state();
     basis_ = warm->basis();
     std::size_t basics = 0;
     for (std::size_t j = 0; j < n_total_; ++j)
       if (state_[j] == VarState::kBasic) ++basics;
-    if (basics != m_) return reject();
+    if (basics != m_) return reject(WarmFallback::kBasisShapeMismatch);
     for (const std::uint32_t c : basis_)
-      if (c >= n_total_ || state_[c] != VarState::kBasic) return reject();
+      if (c >= n_total_ || state_[c] != VarState::kBasic)
+        return reject(WarmFallback::kBasisShapeMismatch);
 
     // Warm starts jump straight to phase 2: artificials stay fixed at zero.
     for (std::size_t j = art_begin_; j < n_total_; ++j) ub_[j] = 0.0;
@@ -303,51 +323,108 @@ class RevisedSimplex {
       if (state_[j] == VarState::kNonbasicUpper && !(ub_[j] < kInfinity))
         state_[j] = VarState::kNonbasicLower;
 
-    etas_.clear();
-    if (!refactorize()) return reject();
+    if (!refactorize()) return reject(WarmFallback::kSingularBasis);
     compute_beta();
     const double feas = opt_.simplex.feasibility_tolerance;
-    for (std::size_t i = 0; i < m_; ++i)
-      if (beta_[i] < -feas || beta_[i] > ub_[basis_[i]] + feas)
-        return reject();
+    if (primal_feasible(feas)) {
+      warm->record_hit();
+      stats_.warm_start_used = true;
+      return WarmPrime::kPrimal;
+    }
+    if (!opt_.dual_warm_start)
+      return reject(WarmFallback::kPrimalInfeasible);
+
+    // Primal infeasible (the RHS-only change). The basis of the previous
+    // optimum is dual feasible for the previous objective; if the objective
+    // moved too, repair dual feasibility by bound-flipping nonbasic columns
+    // whose reduced-cost sign no longer matches their bound. Flips change no
+    // basis column, only the implied nonbasic values.
+    std::vector<double> y(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) y[i] = obj_[basis_[i]];
+    btran(y);
+    bool flipped = false;
+    for (std::size_t j = 0; j < n_total_; ++j) {
+      if (state_[j] == VarState::kBasic || ub_[j] == 0.0) continue;
+      const double d = obj_[j] - A_.dot_col(j, y);
+      if (state_[j] == VarState::kNonbasicLower && d < -feas) {
+        if (!(ub_[j] < kInfinity))
+          return reject(WarmFallback::kDualInfeasible);
+        state_[j] = VarState::kNonbasicUpper;
+        flipped = true;
+      } else if (state_[j] == VarState::kNonbasicUpper && d > feas) {
+        state_[j] = VarState::kNonbasicLower;
+        flipped = true;
+      }
+    }
+    if (flipped) {
+      compute_beta();
+      if (primal_feasible(feas)) {
+        warm->record_hit();
+        stats_.warm_start_used = true;
+        return WarmPrime::kPrimal;
+      }
+    }
     warm->record_hit();
     stats_.warm_start_used = true;
+    return WarmPrime::kDual;
+  }
+
+  bool primal_feasible(double feas) const noexcept {
+    for (std::size_t i = 0; i < m_; ++i)
+      if (beta_[i] < -feas || beta_[i] > ub_[basis_[i]] + feas) return false;
     return true;
   }
 
-  // --- the simplex loop -----------------------------------------------------
+  // --- the primal simplex loop ----------------------------------------------
 
   Status iterate(bool phase1) {
     const double piv_tol = opt_.simplex.pivot_tolerance;
+    const bool use_devex = opt_.pricing == Pricing::kDevex;
+    if (use_devex) devex_.assign(n_total_, 1.0);
     std::vector<double> y(m_, 0.0);
     std::vector<double> w(m_, 0.0);
+    std::vector<double> rho(m_, 0.0);
+    int undo_streak = 0;
     for (;;) {
       if (iterations_ >= opt_.simplex.max_iterations)
         return Status::kIterationLimit;
       const bool bland = iterations_ >= opt_.simplex.bland_after;
 
       // Pricing: y = c_B' B^{-1} (BTRAN), then reduced costs column by
-      // column against the untouched CSC matrix — O(nnz) per pass.
+      // column against the untouched CSC matrix — O(nnz) per pass. Devex
+      // divides the squared violation by a reference weight approximating
+      // the steepest-edge norm; Bland takes the first violating index.
       for (std::size_t i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
       btran(y);
       const std::size_t limit = phase1 ? n_total_ : art_begin_;
       std::size_t enter = n_total_;
       double best = piv_tol;
+      double best_score = 0.0;
       for (std::size_t j = 0; j < limit; ++j) {
         if (state_[j] == VarState::kBasic) continue;
         if (ub_[j] == 0.0) continue;  // fixed variable can never move
         const double d = cost_[j] - A_.dot_col(j, y);
         const double viol = state_[j] == VarState::kNonbasicLower ? -d : d;
-        if (viol > best) {
+        if (!(viol > piv_tol)) continue;
+        if (bland) {
+          enter = j;  // first violating index (columns scanned in order)
+          break;
+        }
+        if (use_devex) {
+          const double score = viol * viol / devex_[j];
+          if (score > best_score) {
+            best_score = score;
+            enter = j;
+          }
+        } else if (viol > best) {
           best = viol;
           enter = j;
-          if (bland) break;  // first violating index (columns scanned in order)
         }
       }
       if (enter == n_total_) {
-        // Verify apparent optimality against a freshly rebuilt inverse: eta
-        // drift can both hide and fabricate violating columns.
-        if (pivots_since_refactor_ > 0) {
+        // Verify apparent optimality against a freshly rebuilt inverse:
+        // update drift can both hide and fabricate violating columns.
+        if (lu_.updates_since_factorize() > 0) {
           if (!refactorize()) {
             singular_ = true;
             stats_.singular_basis = true;
@@ -359,10 +436,10 @@ class RevisedSimplex {
         return Status::kOptimal;
       }
 
-      // FTRAN the entering column; dir = +1 leaving its lower bound,
-      // -1 descending from its upper bound.
+      // FTRAN the entering column (saving the spike for the FT update);
+      // dir = +1 leaving its lower bound, -1 descending from its upper.
       A_.scatter_col(enter, w);
-      ftran(w);
+      ftran(w, /*save_spike=*/true);
       const bool from_lower = state_[enter] == VarState::kNonbasicLower;
       const double dir = from_lower ? 1.0 : -1.0;
 
@@ -416,32 +493,224 @@ class RevisedSimplex {
         continue;
       }
 
-      // Pivot: update basic values, swap statuses, append one eta.
+      // Devex reference-weight update, against the *pre-pivot* basis: the
+      // pivot row alpha_j = rho' a_j with rho = B^{-T} e_leave. Candidate
+      // weights grow as their alignment with the pivot row does; the leaving
+      // variable re-enters the candidate pool with the transferred weight.
+      if (use_devex && !bland) {
+        rho.assign(m_, 0.0);
+        rho[leave] = 1.0;
+        btran(rho);
+        const double aq = w[leave];
+        const double wq = devex_[enter];
+        double maxw = 1.0;
+        for (std::size_t j = 0; j < limit; ++j) {
+          if (j == enter || state_[j] == VarState::kBasic) continue;
+          if (ub_[j] == 0.0) continue;
+          const double aj = A_.dot_col(j, rho);
+          if (aj != 0.0) {
+            const double cand = (aj / aq) * (aj / aq) * wq;
+            if (cand > devex_[j]) devex_[j] = cand;
+          }
+          if (devex_[j] > maxw) maxw = devex_[j];
+        }
+        devex_[basis_[leave]] = std::max(wq / (aq * aq), 1.0);
+        if (maxw > kDevexReset) devex_.assign(n_total_, 1.0);
+      }
+
+      // Pivot: update basic values, swap statuses, absorb one FT update.
       for (std::size_t i = 0; i < m_; ++i) {
         if (i == leave) continue;
         beta_[i] -= dir * t_best * w[i];
-        if (beta_[i] < 0.0 && beta_[i] > -1e-11) beta_[i] = 0.0;
+        if (beta_[i] < 0.0 && beta_[i] > -beta_clamp_) beta_[i] = 0.0;
       }
       const std::uint32_t out = basis_[leave];
       state_[out] = leave_upper ? VarState::kNonbasicUpper
                                 : VarState::kNonbasicLower;
       beta_[leave] = from_lower ? t_best : ub_[enter] - t_best;
-      if (beta_[leave] < 0.0 && beta_[leave] > -1e-11) beta_[leave] = 0.0;
+      if (beta_[leave] < 0.0 && beta_[leave] > -beta_clamp_)
+        beta_[leave] = 0.0;
       state_[enter] = VarState::kBasic;
       basis_[leave] = static_cast<std::uint32_t>(enter);
-      push_eta(static_cast<std::uint32_t>(leave), w);
       ++iterations_;
       ++stats_.pivots;
-      ++pivots_since_refactor_;
-
-      if (pivots_since_refactor_ >= opt_.refactor_interval) {
-        if (!refactorize()) {
+      if (!apply_update(static_cast<std::uint32_t>(leave), w[leave])) {
+        // The replacement basis would not factorize: through the drifted
+        // update etas the entering column's pivot entry looked safe, but its
+        // true value is (near-)zero and the pivot made B singular. Undo the
+        // pivot, rebuild from the restored basis, and re-price with exact
+        // numerics — the offending entry then fails the pivot tolerance and
+        // a different pivot is chosen. Only a repeat failure straight off a
+        // fresh factorization means the basis is beyond recovery.
+        basis_[leave] = out;
+        state_[out] = VarState::kBasic;
+        state_[enter] = from_lower ? VarState::kNonbasicLower
+                                   : VarState::kNonbasicUpper;
+        if (++undo_streak > 3 || !refactorize()) {
           singular_ = true;
           stats_.singular_basis = true;
           return Status::kIterationLimit;
         }
         compute_beta();
+        continue;
       }
+      undo_streak = 0;
+    }
+  }
+
+  // --- the dual simplex loop ------------------------------------------------
+
+  /// Re-optimizes a dual-feasible, primal-infeasible basis: pick the most
+  /// violated basic variable, drive it to its violated bound, and let the
+  /// dual ratio test pick the entering column that keeps reduced-cost signs
+  /// valid. Returns kOptimal when primal feasibility is restored (phase 2
+  /// then certifies optimality); anything else tells run() to abandon the
+  /// warm basis.
+  Status dual_iterate() {
+    const double piv_tol = opt_.simplex.pivot_tolerance;
+    const double feas = opt_.simplex.feasibility_tolerance;
+    std::vector<double> y(m_, 0.0);
+    std::vector<double> w(m_, 0.0);
+    std::vector<double> rho(m_, 0.0);
+    int undo_streak = 0;
+    for (;;) {
+      if (iterations_ >= opt_.simplex.max_iterations)
+        return Status::kIterationLimit;
+      const bool bland = iterations_ >= opt_.simplex.bland_after;
+
+      // Leaving row: the largest bound violation among basic variables.
+      std::size_t leave = m_;
+      double worst = feas;
+      double sigma = 0.0;  // +1: above upper bound, -1: below lower (zero)
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (-beta_[i] > worst) {
+          worst = -beta_[i];
+          leave = i;
+          sigma = -1.0;
+        }
+        const double u = ub_[basis_[i]];
+        if (u < kInfinity && beta_[i] - u > worst) {
+          worst = beta_[i] - u;
+          leave = i;
+          sigma = 1.0;
+        }
+      }
+      if (leave == m_) {
+        // Primal feasible — but verify against a fresh factorization first:
+        // update drift can understate a violation just as it can invent one.
+        if (lu_.updates_since_factorize() > 0) {
+          if (!refactorize()) {
+            singular_ = true;
+            stats_.singular_basis = true;
+            return Status::kIterationLimit;
+          }
+          compute_beta();
+          continue;
+        }
+        return Status::kOptimal;
+      }
+
+      // Dual ratio test along the pivot row alpha = B^{-1}-row of `leave`:
+      // among columns that would move the leaving variable toward its bound
+      // without breaking a reduced-cost sign, the smallest |d_j / alpha_j|
+      // enters (ties to the largest pivot for stability, smallest index
+      // under Bland).
+      rho.assign(m_, 0.0);
+      rho[leave] = 1.0;
+      btran(rho);
+      for (std::size_t i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
+      btran(y);
+      std::size_t enter = n_total_;
+      double best_ratio = kInfinity;
+      double best_alpha = 0.0;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (state_[j] == VarState::kBasic || ub_[j] == 0.0) continue;
+        const double alpha = A_.dot_col(j, rho);
+        const double salpha = sigma * alpha;
+        double ratio;
+        if (state_[j] == VarState::kNonbasicLower) {
+          if (!(salpha > piv_tol)) continue;
+          const double d = cost_[j] - A_.dot_col(j, y);
+          ratio = std::max(d, 0.0) / salpha;
+        } else {
+          if (!(salpha < -piv_tol)) continue;
+          const double d = cost_[j] - A_.dot_col(j, y);
+          ratio = std::min(d, 0.0) / salpha;
+        }
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && enter != n_total_ &&
+             (bland ? j < enter : std::abs(alpha) > std::abs(best_alpha)))) {
+          best_ratio = ratio;
+          enter = j;
+          best_alpha = alpha;
+        }
+      }
+      if (enter == n_total_) {
+        // No column can absorb the violation: the dual is unbounded, i.e.
+        // the primal looks infeasible. Under warm-start tolerance drift this
+        // verdict is not trusted — report failure and let the caller's cold
+        // two-phase solve decide feasibility.
+        return Status::kInfeasible;
+      }
+
+      // FTRAN the entering column and pivot on the leaving row.
+      A_.scatter_col(enter, w);
+      ftran(w, /*save_spike=*/true);
+      const double alpha_r = w[leave];
+      if (!(std::abs(alpha_r) > piv_tol)) {
+        // The BTRAN-priced row disagrees with the FTRAN'd column: the
+        // factorization has drifted. Rebuild and re-price.
+        if (lu_.updates_since_factorize() > 0) {
+          if (!refactorize()) {
+            singular_ = true;
+            stats_.singular_basis = true;
+            return Status::kIterationLimit;
+          }
+          compute_beta();
+          continue;
+        }
+        return Status::kIterationLimit;
+      }
+
+      // Step: drive the leaving variable exactly to its violated bound. The
+      // entering variable moves off its bound by t; every other basic moves
+      // against the FTRAN'd column.
+      const double target = sigma > 0.0 ? ub_[basis_[leave]] : 0.0;
+      const double t = (beta_[leave] - target) / alpha_r;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == leave) continue;
+        beta_[i] -= t * w[i];
+        if (beta_[i] < 0.0 && beta_[i] > -beta_clamp_) beta_[i] = 0.0;
+      }
+      const std::uint32_t out = basis_[leave];
+      state_[out] = sigma > 0.0 ? VarState::kNonbasicUpper
+                                : VarState::kNonbasicLower;
+      const VarState enter_prev = state_[enter];
+      const double enter_base =
+          enter_prev == VarState::kNonbasicUpper ? ub_[enter] : 0.0;
+      beta_[leave] = enter_base + t;
+      if (beta_[leave] < 0.0 && beta_[leave] > -beta_clamp_)
+        beta_[leave] = 0.0;
+      state_[enter] = VarState::kBasic;
+      basis_[leave] = static_cast<std::uint32_t>(enter);
+      ++iterations_;
+      ++stats_.pivots;
+      ++stats_.dual_pivots;
+      if (!apply_update(static_cast<std::uint32_t>(leave), alpha_r)) {
+        // Same recovery as the primal loop: undo the pivot that made B
+        // singular and re-price from a fresh factorization.
+        basis_[leave] = out;
+        state_[out] = VarState::kBasic;
+        state_[enter] = enter_prev;
+        if (++undo_streak > 3 || !refactorize()) {
+          singular_ = true;
+          stats_.singular_basis = true;
+          return Status::kIterationLimit;
+        }
+        compute_beta();
+        continue;
+      }
+      undo_streak = 0;
     }
   }
 
@@ -488,6 +757,7 @@ class RevisedSimplex {
   }
 
   SolverOptions opt_;
+  double beta_clamp_ = 0.0;
   std::size_t n_struct_ = 0;
   std::size_t n_total_ = 0;
   std::size_t art_begin_ = 0;
@@ -504,10 +774,11 @@ class RevisedSimplex {
   std::vector<WarmStart::VarState> state_;
   std::vector<std::uint32_t> basis_;
   std::vector<double> beta_;
-  std::vector<Eta> etas_;
-  std::size_t pivots_since_refactor_ = 0;
+  std::vector<double> devex_;
+  LuFactorization lu_;
   std::size_t iterations_ = 0;
   bool singular_ = false;
+  bool dual_collapsed_ = false;
   SolveStats stats_;
 };
 
@@ -518,21 +789,28 @@ LpResult solve_revised(const LpProblem& problem, const SolverOptions& options,
   RevisedSimplex simplex(problem, options);
   SolveStats first;
   LpResult result = simplex.run(warm, &first);
-  if (simplex.singular() && simplex.warm_started()) {
-    // A warm basis that refactorized cleanly but collapsed mid-solve: retry
-    // cold once — correctness must never depend on the warm path.
+  if (simplex.needs_cold_retry()) {
+    // A warm basis that was accepted but collapsed mid-solve (singular
+    // refactorization, dual-simplex breakdown): retry cold once —
+    // correctness must never depend on the warm path.
     SolverOptions cold = options;
     cold.use_warm_start = false;
     RevisedSimplex cold_simplex(problem, cold);
     SolveStats retry;
     result = cold_simplex.run(warm, &retry);
-    // The abandoned warm run's work still happened: report the total, and
+    const WarmFallback why = first.fallback != WarmFallback::kNone
+                                 ? first.fallback
+                                 : WarmFallback::kSingularBasis;
+    // The abandoned warm run's work still happened: report the totals, and
     // reclassify the already-recorded hit — the solve finished cold.
-    first.pivots += retry.pivots;
-    first.refactorizations += retry.refactorizations;
-    first.warm_start_used = false;
-    first.singular_basis = retry.singular_basis;  // the warm collapse was recovered
-    if (warm) warm->demote_hit_to_miss();
+    retry.pivots += first.pivots;
+    retry.dual_pivots += first.dual_pivots;
+    retry.refactorizations += first.refactorizations;
+    retry.ft_updates += first.ft_updates;
+    retry.warm_start_attempted = true;
+    retry.fallback = why;
+    first = retry;
+    if (warm) warm->demote_hit_to_miss(why);
   }
   if (stats) *stats = first;
   return result;

@@ -1,23 +1,34 @@
-// Sparse revised primal simplex with a product-form-of-the-inverse basis.
+// Sparse revised simplex (primal + dual) over a Forrest–Tomlin LU basis.
 //
 // Drop-in second engine behind the LpProblem/Status/LpResult API of
 // lp/simplex.h. Differences from the dense tableau oracle:
 //  * the constraint matrix is stored once in CSC (lp/sparse.h) and never
 //    modified — pricing is O(nnz), not O(rows * cols);
-//  * the basis inverse is an eta file (product form of the inverse): each
-//    pivot appends one elementary eta matrix, and FTRAN/BTRAN apply the file
-//    forward/backward. The file is rebuilt from scratch (refactorization)
-//    every `refactor_interval` pivots to bound numerical drift and length;
+//  * the basis inverse is a Markowitz-ordered sparse LU factorization with
+//    Forrest–Tomlin column-replacement updates (lp/lu.h). Each pivot is
+//    absorbed by one cheap update; the factorization is rebuilt every
+//    `refactor_interval` updates (or immediately when an update is
+//    numerically unsafe) to bound drift and update-eta length;
 //  * variable upper bounds are handled natively: nonbasic variables rest at
 //    either bound, the ratio test caps steps at both bounds, and bound flips
-//    cost no eta;
+//    cost no basis change;
+//  * pricing is devex (Forrest & Goldfarb reference weights) by default,
+//    which keeps pivot counts near steepest-edge at Dantzig cost; Bland's
+//    rule still takes over after `SolveOptions::bland_after` pivots as the
+//    anti-cycling backstop;
 //  * an optimal basis can be captured in a WarmStart handle and re-primed
-//    into the next solve when only the numbers (objective / RHS / bounds /
-//    coefficients) changed — see lp/warm_start.h.
+//    into the next solve. When the re-primed basis is primal feasible the
+//    solve continues with the primal simplex; when an RHS-only change left
+//    it primal-infeasible (but still dual feasible — the typical
+//    failure-masked-capacity resolve) the **dual simplex** re-optimizes it
+//    in a handful of pivots instead of falling back to a cold two-phase
+//    start. Cold fallbacks that do happen are recorded per reason in
+//    SolveStats::fallback and the WarmStart handle.
 //
-// Pricing is Dantzig (most violating reduced cost) with an automatic switch
-// to Bland's rule after `SolveOptions::bland_after` pivots, mirroring the
-// dense engine's anti-cycling contract.
+// The dual path is an accelerator, never an authority: after it reaches
+// primal feasibility the primal phase 2 certifies optimality, and any dual
+// breakdown (stall, numerical collapse, apparent infeasibility) reruns the
+// solve cold, so warm starts cannot change which answer is returned.
 #pragma once
 
 #include "lp/simplex.h"
@@ -30,29 +41,54 @@ enum class Engine {
   kRevisedSparse,  // this file
 };
 
+/// Entering-variable selection rule of the revised engine.
+enum class Pricing {
+  kDantzig,  // most violating reduced cost (the historical default)
+  kDevex,    // reduced cost scaled by devex reference weights
+};
+
 /// Engine selection plus engine-specific knobs, shared by all LP call sites.
 struct SolverOptions {
   Engine engine = Engine::kRevisedSparse;
   /// Pivot caps and tolerances (shared meaning across engines).
   SolveOptions simplex;
-  /// Revised engine: pivots between eta-file rebuilds.
+  /// Revised engine: Forrest–Tomlin updates between LU rebuilds.
   std::size_t refactor_interval = 96;
   /// Revised engine: honor a WarmStart handle when one is passed.
   bool use_warm_start = true;
+  /// Revised engine: entering-variable rule (Bland still engages after
+  /// `simplex.bland_after` pivots regardless).
+  Pricing pricing = Pricing::kDevex;
+  /// Revised engine: re-optimize a primal-infeasible warm basis with the
+  /// dual simplex instead of discarding it. Off, every RHS-only change
+  /// falls back cold (the pre-dual behavior, kept for A/B benches).
+  bool dual_warm_start = true;
 };
 
 /// Per-solve observability (pivot counts for Table-2-style benches).
 struct SolveStats {
+  /// All basis changes and bound flips, primal and dual phases combined.
   std::size_t pivots = 0;
+  /// The subset of `pivots` performed by the dual simplex.
+  std::size_t dual_pivots = 0;
   std::size_t refactorizations = 0;
+  /// Forrest–Tomlin updates absorbed without a rebuild.
+  std::size_t ft_updates = 0;
   bool warm_start_attempted = false;
-  /// The warm basis was accepted (refactorized cleanly and primal feasible).
+  /// The warm basis was accepted and the solve finished from it (via the
+  /// primal path or the dual path — see `dual_simplex_used`).
   bool warm_start_used = false;
+  /// The warm basis was primal-infeasible and the dual simplex re-optimized
+  /// it (implies warm_start_used when the solve finished warm).
+  bool dual_simplex_used = false;
   /// A refactorization found the basis numerically singular mid-solve. The
   /// solve then reports kIterationLimit (the conservative verdict — there is
   /// no dedicated Status for numerical failure yet); this flag tells the
   /// caller that raising the pivot budget will not help.
   bool singular_basis = false;
+  /// Why this solve abandoned its warm basis (kNone: it kept it, or no warm
+  /// start was attempted). Mirrors the per-reason counters on WarmStart.
+  WarmFallback fallback = WarmFallback::kNone;
 };
 
 /// Revised-simplex solve. `warm` (optional, in/out) re-primes this solve and

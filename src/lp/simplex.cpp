@@ -32,6 +32,10 @@ void LpProblem::set_upper_bound(std::size_t var, double upper) {
   ub_.at(var) = upper;
 }
 
+void LpProblem::set_rhs(std::size_t row, double rhs) {
+  rows_.at(row).rhs = rhs;
+}
+
 const char* to_string(Status status) noexcept {
   switch (status) {
     case Status::kOptimal:
@@ -58,7 +62,8 @@ namespace {
 //    objective contribution of flipped columns.
 class Simplex {
  public:
-  Simplex(const LpProblem& p, const SolveOptions& opt) : opt_(opt) {
+  Simplex(const LpProblem& p, const SolveOptions& opt)
+      : opt_(opt), clamp_(beta_clamp(opt.feasibility_tolerance)) {
     const std::size_t n = p.num_variables();
     const std::size_t m = p.num_constraints();
     n_struct_ = n;
@@ -327,7 +332,7 @@ class Simplex {
       for (std::size_t j = 0; j < n_total_; ++j) irow[j] -= factor * prow[j];
       irow[c] = 0.0;
       b_[i] -= factor * b_[r];
-      if (b_[i] < 0.0 && b_[i] > -1e-11) b_[i] = 0.0;
+      if (b_[i] < 0.0 && b_[i] > -clamp_) b_[i] = 0.0;
     }
     const double cfac = cost_[c];
     if (cfac != 0.0) {
@@ -338,7 +343,7 @@ class Simplex {
 
     in_basis_[basis_[r]] = false;
     set_basis(r, c);
-    if (b_[r] < 0.0 && b_[r] > -1e-11) b_[r] = 0.0;
+    if (b_[r] < 0.0 && b_[r] > -clamp_) b_[r] = 0.0;
   }
 
   // After phase 1, pivot any artificial still in the basis (necessarily at
@@ -366,6 +371,7 @@ class Simplex {
   }
 
   SolveOptions opt_;
+  double clamp_ = 0.0;  // beta_clamp(opt_.feasibility_tolerance)
   std::size_t n_struct_ = 0;
   std::size_t n_total_ = 0;
   std::size_t art_begin_ = 0;

@@ -30,6 +30,16 @@ enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 /// Human-readable status name, for error messages surfaced by callers.
 const char* to_string(Status status) noexcept;
 
+/// Basic values driven into (-clamp, 0) by cancellation in pivot updates are
+/// numerical noise, not infeasibility: both engines snap them to zero. The
+/// clamp is keyed to the feasibility tolerance (four decades below it, so
+/// values it absorbs could never count as violations), with a floor near
+/// machine precision so a very tight tolerance cannot disable the cleanup.
+constexpr double beta_clamp(double feasibility_tolerance) noexcept {
+  const double scaled = 1e-4 * feasibility_tolerance;
+  return scaled > 1e-13 ? scaled : 1e-13;
+}
+
 /// One nonzero coefficient of a constraint row.
 struct Term {
   std::size_t var = 0;
@@ -49,6 +59,10 @@ class LpProblem {
 
   void set_objective(std::size_t var, double coeff);
   void set_upper_bound(std::size_t var, double upper);
+  /// Replaces the right-hand side of constraint `row`, keeping its terms and
+  /// relation. This is the RHS-only perturbation entry point (failure-masked
+  /// capacities, tightened budgets) that warm-started resolves are built for.
+  void set_rhs(std::size_t row, double rhs);
 
   std::size_t num_variables() const noexcept { return obj_.size(); }
   std::size_t num_constraints() const noexcept { return rows_.size(); }

@@ -2,6 +2,26 @@
 
 namespace figret::lp {
 
+const char* to_string(WarmFallback fallback) noexcept {
+  switch (fallback) {
+    case WarmFallback::kNone:
+      return "none";
+    case WarmFallback::kSignatureMismatch:
+      return "signature";
+    case WarmFallback::kBasisShapeMismatch:
+      return "shape";
+    case WarmFallback::kSingularBasis:
+      return "singular";
+    case WarmFallback::kPrimalInfeasible:
+      return "primal-infeasible";
+    case WarmFallback::kDualInfeasible:
+      return "dual-infeasible";
+    case WarmFallback::kDualAborted:
+      return "dual-aborted";
+  }
+  return "unknown";
+}
+
 void WarmStart::clear() {
   num_vars_ = 0;
   num_cols_ = 0;
@@ -10,6 +30,7 @@ void WarmStart::clear() {
   basis_.clear();
   hits_ = 0;
   misses_ = 0;
+  miss_reasons_.fill(0);
   recent_hits_ = 0;
   recent_misses_ = 0;
   skips_since_attempt_ = 0;

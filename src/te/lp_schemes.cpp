@@ -79,6 +79,9 @@ MluLpResult solve_mlu_lp(const PathSet& ps,
   MluLpResult out;
   out.status = sol.status;
   out.pivots = stats.pivots;
+  out.dual_pivots = stats.dual_pivots;
+  out.warm_start_used = stats.warm_start_used;
+  out.warm_fallback = stats.fallback;
   if (!out.optimal()) return out;
   out.mlu = sol.objective;
   out.config.assign(ps.num_paths(), 0.0);

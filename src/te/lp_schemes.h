@@ -28,6 +28,12 @@ struct MluLpResult {
   lp::Status status = lp::Status::kIterationLimit;
   /// Simplex pivots spent on this solve (Table 2 observability).
   std::size_t pivots = 0;
+  /// The subset of `pivots` spent in the dual simplex (warm RHS resolves).
+  std::size_t dual_pivots = 0;
+  /// The solve finished from a re-primed warm basis (primal or dual path).
+  bool warm_start_used = false;
+  /// Why a warm-start attempt fell back cold (kNone: it did not).
+  lp::WarmFallback warm_fallback = lp::WarmFallback::kNone;
 
   bool optimal() const noexcept { return status == lp::Status::kOptimal; }
 };

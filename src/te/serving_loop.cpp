@@ -275,6 +275,10 @@ void ServingLoop::aggregate_warm(const Worker& w) {
                              std::memory_order_relaxed);
   stats_.warm_misses.fetch_add(w.warm_misses_acc + w.warm.misses(),
                                std::memory_order_relaxed);
+  for (std::size_t k = 0; k < lp::kWarmFallbackCount; ++k)
+    stats_.warm_fallbacks[k].fetch_add(
+        w.warm_fallback_acc[k] + w.warm.miss_reasons()[k],
+        std::memory_order_relaxed);
 }
 
 // --- batch -----------------------------------------------------------------
@@ -408,6 +412,8 @@ void ServingLoop::process_batch_chunk(Worker& w, BatchState& bs,
         // totals are banked first so finish-time stats stay exact.
         w.warm_hits_acc += w.warm.hits();
         w.warm_misses_acc += w.warm.misses();
+        for (std::size_t k = 0; k < lp::kWarmFallbackCount; ++k)
+          w.warm_fallback_acc[k] += w.warm.miss_reasons()[k];
         w.warm.clear();
         handle = &w.warm;
       }

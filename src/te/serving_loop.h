@@ -27,6 +27,7 @@
 // load per snapshot and only touch a mutex on the epoch that changes.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -188,6 +189,8 @@ class ServingLoop {
     lp::WarmStart warm;
     std::uint64_t warm_hits_acc = 0;
     std::uint64_t warm_misses_acc = 0;
+    /// Per-reason miss totals banked across warm.clear() chunk resets.
+    std::array<std::uint64_t, lp::kWarmFallbackCount> warm_fallback_acc{};
     TeConfig cfg;
     TeConfig installed;
     TeConfig rerouted;

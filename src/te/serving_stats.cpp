@@ -20,6 +20,7 @@ void ServingStats::reset() noexcept {
   oracle_failures.store(0, std::memory_order_relaxed);
   warm_hits.store(0, std::memory_order_relaxed);
   warm_misses.store(0, std::memory_order_relaxed);
+  for (auto& f : warm_fallbacks) f.store(0, std::memory_order_relaxed);
   failure_epochs.store(0, std::memory_order_relaxed);
 }
 
@@ -33,6 +34,8 @@ ServingStats::Snapshot ServingStats::snapshot() const {
   s.oracle_failures = oracle_failures.load(std::memory_order_relaxed);
   s.warm_hits = warm_hits.load(std::memory_order_relaxed);
   s.warm_misses = warm_misses.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < lp::kWarmFallbackCount; ++k)
+    s.warm_fallbacks[k] = warm_fallbacks[k].load(std::memory_order_relaxed);
   s.failure_epochs = failure_epochs.load(std::memory_order_relaxed);
   s.serve_p50 = serve.percentile(50);
   s.serve_p99 = serve.percentile(99);
@@ -73,6 +76,15 @@ void ServingStats::print(std::ostream& os) const {
      << s.slo_violations << "; queue overflows " << s.overflows
      << "; oracle failures " << s.oracle_failures << "; warm LP hits "
      << s.warm_hits << "/" << (s.warm_hits + s.warm_misses) << "\n";
+  if (s.warm_misses > 0) {
+    os << "warm LP fallbacks:";
+    // Reason 0 is kNone — never a miss reason, skip it.
+    for (std::size_t k = 1; k < lp::kWarmFallbackCount; ++k)
+      if (s.warm_fallbacks[k] > 0)
+        os << " " << lp::to_string(static_cast<lp::WarmFallback>(k)) << "="
+           << s.warm_fallbacks[k];
+    os << "\n";
+  }
 }
 
 }  // namespace figret::te

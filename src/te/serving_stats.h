@@ -4,10 +4,12 @@
 // atomics and a monitoring reader never blocks the hot path.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
 
+#include "lp/warm_start.h"
 #include "util/latency.h"
 
 namespace figret::te {
@@ -34,6 +36,11 @@ struct ServingStats {
   /// Aggregated per-worker warm-start chain outcomes (filled on finish()).
   std::atomic<std::uint64_t> warm_hits{0};
   std::atomic<std::uint64_t> warm_misses{0};
+  /// warm_misses broken down by lp::WarmFallback reason (same indexing), so
+  /// a chain that silently degrades to cold solves is diagnosable from the
+  /// serving report alone.
+  std::array<std::atomic<std::uint64_t>, lp::kWarmFallbackCount>
+      warm_fallbacks{};
   /// Times a failure mask was installed/cleared mid-stream.
   std::atomic<std::uint64_t> failure_epochs{0};
 
@@ -53,6 +60,7 @@ struct ServingStats {
     std::uint64_t oracle_failures = 0;
     std::uint64_t warm_hits = 0;
     std::uint64_t warm_misses = 0;
+    std::array<std::uint64_t, lp::kWarmFallbackCount> warm_fallbacks{};
     std::uint64_t failure_epochs = 0;
     double serve_p50 = 0.0, serve_p99 = 0.0, serve_p999 = 0.0;
     double e2e_p50 = 0.0, e2e_p99 = 0.0, e2e_p999 = 0.0;

@@ -144,6 +144,107 @@ TEST(LpDegeneracy, WarmStartAfterBoundTighteningBinding) {
   EXPECT_NEAR(second.objective, oracle.objective, 1e-8);
 }
 
+TEST(LpDegeneracy, RhsOnlyTighteningUsesDualNotCold) {
+  // The headline fix of this change: an RHS-only tightening that makes the
+  // previous optimal basis primal-infeasible must be re-optimized by the
+  // dual simplex from the warm basis — not discarded for a cold two-phase
+  // restart.
+  LpProblem p;
+  const auto x = p.add_variable(-3.0, 10.0);
+  const auto y = p.add_variable(-5.0, 10.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEq, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEq, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0);
+
+  WarmStart warm;
+  SolverOptions opt;
+  ASSERT_TRUE(solve_revised(p, opt, &warm).optimal());  // x = 2, y = 6
+
+  // Tighten the joint capacity below the incumbent activity (3*2 + 2*6 = 18
+  // -> cap 10). Re-pricing the stored basis against the new RHS drives its
+  // x-component negative: primal infeasible, still dual feasible.
+  p.set_rhs(2, 10.0);
+  SolveStats stats;
+  const LpResult second = solve_revised(p, opt, &warm, &stats);
+  ASSERT_TRUE(second.optimal());
+  EXPECT_TRUE(stats.warm_start_used);
+  EXPECT_TRUE(stats.dual_simplex_used);
+  EXPECT_EQ(stats.fallback, WarmFallback::kNone)
+      << "fell back: " << to_string(stats.fallback);
+  EXPECT_EQ(warm.misses(), 0u);
+  const LpResult oracle = solve(p);
+  ASSERT_TRUE(oracle.optimal());
+  EXPECT_NEAR(second.objective, oracle.objective, 1e-8);
+  EXPECT_TRUE(check_certificate(p, second).ok(1e-6));
+
+  // A/B knob: the same kind of resolve with the dual path disabled is the
+  // pre-fix behavior — a cold fallback, recorded as such.
+  WarmStart warm2;
+  ASSERT_TRUE(solve_revised(p, opt, &warm2).optimal());  // x = 0, y = 5
+  p.set_rhs(1, 4.0);  // 2y <= 4: the incumbent y = 5 is infeasible
+  SolverOptions no_dual = opt;
+  no_dual.dual_warm_start = false;
+  SolveStats stats2;
+  const LpResult third = solve_revised(p, no_dual, &warm2, &stats2);
+  ASSERT_TRUE(third.optimal());
+  EXPECT_FALSE(stats2.warm_start_used);
+  EXPECT_EQ(stats2.fallback, WarmFallback::kPrimalInfeasible);
+  EXPECT_EQ(warm2.misses_by(WarmFallback::kPrimalInfeasible), 1u);
+}
+
+TEST(LpDegeneracy, BetaClampTracksFeasibilityTolerance) {
+  // The clamp that snaps tiny negative basic values to zero is derived from
+  // the feasibility tolerance, not a hard-coded -1e-11: four decades below
+  // the tolerance, floored at 1e-13.
+  static_assert(beta_clamp(1e-7) == 1e-11);
+  static_assert(beta_clamp(1e-4) == 1e-8);
+  static_assert(beta_clamp(1e-10) == 1e-13);  // floor engages
+  static_assert(beta_clamp(0.0) == 1e-13);
+
+  // A near-degenerate instance must reach the same optimum under a tight and
+  // a loose feasibility tolerance in both engines: the clamp scales with the
+  // tolerance rather than fighting it.
+  for (const double feas : {1e-9, 1e-7, 1e-5}) {
+    SolveOptions simplex;
+    simplex.feasibility_tolerance = feas;
+    simplex.max_iterations = 5000;
+    simplex.bland_after = 0;  // Beale cycles under pure Dantzig
+    for (const Engine engine :
+         {Engine::kDenseTableau, Engine::kRevisedSparse}) {
+      SolverOptions opt;
+      opt.engine = engine;
+      opt.simplex = simplex;
+      const LpResult r = solve_with(beale(), opt);
+      ASSERT_EQ(r.status, Status::kOptimal)
+          << "feas " << feas << " engine " << static_cast<int>(engine);
+      EXPECT_NEAR(r.objective, -0.05, 1e-7)
+          << "feas " << feas << " engine " << static_cast<int>(engine);
+    }
+  }
+}
+
+TEST(LpDegeneracy, FallbackReasonsRecorded) {
+  LpProblem p;
+  const auto x = p.add_variable(-1.0, 5.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEq, 3.0);
+
+  // Structural change (extra row) -> signature mismatch.
+  WarmStart warm;
+  SolverOptions opt;
+  ASSERT_TRUE(solve_revised(p, opt, &warm).optimal());
+  LpProblem q = p;
+  q.add_constraint({{x, 2.0}}, Relation::kLessEq, 10.0);
+  SolveStats stats;
+  ASSERT_TRUE(solve_revised(q, opt, &warm, &stats).optimal());
+  EXPECT_EQ(stats.fallback, WarmFallback::kSignatureMismatch);
+  EXPECT_EQ(warm.misses_by(WarmFallback::kSignatureMismatch), 1u);
+
+  // Every miss is attributed to exactly one reason.
+  std::size_t total = 0;
+  for (const std::size_t n : warm.miss_reasons()) total += n;
+  EXPECT_EQ(total, warm.misses());
+}
+
 TEST(LpDegeneracy, IterationLimitStillReported) {
   // The anti-cycling machinery must not mask a genuine pivot-budget hit.
   for (const Engine engine : {Engine::kDenseTableau, Engine::kRevisedSparse}) {

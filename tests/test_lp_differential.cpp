@@ -200,6 +200,90 @@ TEST(LpDifferential, WarmStartAgreesWithCold) {
   EXPECT_GT(warm.hits() + warm.misses(), 0u);
 }
 
+TEST(LpDifferential, DualWarmBatteryAgreesWithColdOnSeededInstances) {
+  // The dual-vs-primal battery over the same seeded families the engines are
+  // fuzzed on: solve cold (priming a warm handle), perturb every right-hand
+  // side multiplicatively (sign-preserving, so the normalized relation
+  // pattern — and with it the warm-start signature — is unchanged), and
+  // re-solve warm. The warm resolve must agree with the dense oracle solved
+  // cold on the perturbed instance, whichever prime (primal or dual) it
+  // took. Across the battery the dual path must actually fire.
+  std::size_t dual_used = 0, warm_used = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    util::Rng rng(seed);
+    LpProblem p = random_feasible(rng);
+    WarmStart warm;
+    SolverOptions revised;
+    const LpResult first = solve_revised(p, revised, &warm);
+    if (!first.optimal()) continue;
+
+    util::Rng noise(seed ^ 0x5eedULL);
+    for (std::size_t r = 0; r < p.num_constraints(); ++r)
+      p.set_rhs(r, p.rows()[r].rhs * (1.0 + noise.uniform(-0.15, 0.15)));
+
+    const LpResult cold = solve(p);
+    SolveStats stats;
+    const LpResult hot = solve_revised(p, revised, &warm, &stats);
+    ASSERT_EQ(cold.status, hot.status) << "seed " << seed;
+    warm_used += stats.warm_start_used ? 1 : 0;
+    dual_used += stats.dual_simplex_used ? 1 : 0;
+    if (!cold.optimal()) continue;
+    const double scale = 1.0 + std::abs(cold.objective);
+    EXPECT_NEAR(cold.objective, hot.objective, kObjTol * scale)
+        << "seed " << seed;
+    EXPECT_TRUE(check_certificate(p, hot).ok(1e-6)) << "seed " << seed;
+  }
+  EXPECT_GT(warm_used, 100u);  // RHS-only changes must re-prime, not fall back
+  EXPECT_GT(dual_used, 10u);   // and the dual simplex must carry its share
+}
+
+TEST(LpDifferential, RhsPerturbationChainNeverFallsBackCold) {
+  // The production shape this PR exists for: a fixed constraint structure
+  // re-solved across a chain of RHS-only perturbations (failure-masked
+  // capacities, tightened budgets). Every resolve after the first must
+  // re-prime from the warm basis — zero cold fallbacks — and match the dense
+  // oracle's optimum.
+  for (std::uint64_t chain = 0; chain < 8; ++chain) {
+    util::Rng rng(9000 + chain);
+    LpProblem p;
+    constexpr std::size_t kVars = 8;
+    for (std::size_t j = 0; j < kVars; ++j)
+      p.add_variable(rng.uniform(-2.0, 1.0), rng.uniform(0.5, 3.0));
+    for (std::size_t i = 0; i < 6; ++i) {
+      std::vector<Term> terms;
+      for (std::size_t j = 0; j < kVars; ++j)
+        terms.push_back({j, rng.uniform(0.0, 1.5)});
+      p.add_constraint(std::move(terms), Relation::kLessEq,
+                       rng.uniform(2.0, 6.0));
+    }
+    WarmStart warm;
+    SolverOptions revised;
+    ASSERT_TRUE(solve_revised(p, revised, &warm).optimal()) << chain;
+
+    for (int step = 0; step < 12; ++step) {
+      // Multiplicative tightening/loosening keeps every rhs positive: the
+      // signature cannot change, so any fallback is a real regression.
+      for (std::size_t r = 0; r < p.num_constraints(); ++r)
+        p.set_rhs(r, p.rows()[r].rhs * rng.uniform(0.7, 1.1));
+      const LpResult cold = solve(p);
+      SolveStats stats;
+      const LpResult hot = solve_revised(p, revised, &warm, &stats);
+      ASSERT_EQ(cold.status, hot.status) << "chain " << chain << " step "
+                                         << step;
+      EXPECT_TRUE(stats.warm_start_used)
+          << "chain " << chain << " step " << step << " fell back: "
+          << to_string(stats.fallback);
+      EXPECT_EQ(stats.fallback, WarmFallback::kNone)
+          << "chain " << chain << " step " << step;
+      if (!cold.optimal()) continue;
+      const double scale = 1.0 + std::abs(cold.objective);
+      EXPECT_NEAR(cold.objective, hot.objective, kObjTol * scale)
+          << "chain " << chain << " step " << step;
+    }
+    EXPECT_EQ(warm.misses(), 0u) << "chain " << chain;
+  }
+}
+
 TEST(LpDifferential, WarmStartAgreesAcrossCoefficientAndRhsChanges) {
   // The production warm paths (Harness chains, scheme advise loops) vary
   // constraint *coefficients* and RHS between solves — the demand values in

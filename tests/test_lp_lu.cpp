@@ -1,0 +1,183 @@
+// Unit battery for the sparse Markowitz LU with Forrest–Tomlin updates that
+// backs the revised simplex: factorize/ftran/btran correctness on seeded
+// random bases, column-replacement updates validated against the basis they
+// claim to represent, the determinant-lemma accuracy test (|newdiag| =
+// |pivot| * |old diag|), and the relative — never absolute — drop tolerance
+// on ill-scaled instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lp/lu.h"
+#include "lp/sparse.h"
+#include "util/rng.h"
+
+namespace figret::lp {
+namespace {
+
+constexpr LuFactorization::Options kOpt{1e-10, 0.01, 1e-14};
+
+// Random column pool with a guaranteed-nonsingular leading m-column basis
+// (diagonal dominance on the first m columns, random sparse fill elsewhere).
+SparseMatrix random_pool(util::Rng& rng, std::size_t m, std::size_t ncols,
+                         double scale = 1.0) {
+  std::vector<Triplet> trip;
+  for (std::size_t j = 0; j < ncols; ++j) {
+    if (j < m)
+      trip.push_back({static_cast<std::uint32_t>(j),
+                      static_cast<std::uint32_t>(j),
+                      rng.uniform(0.5, 2.0) * scale});
+    for (std::size_t r = 0; r < m; ++r) {
+      if (j < m && r == j) continue;
+      if (rng.bernoulli(0.2))
+        trip.push_back({static_cast<std::uint32_t>(r),
+                        static_cast<std::uint32_t>(j),
+                        rng.uniform(-1.5, 1.5) * scale});
+    }
+  }
+  return SparseMatrix::from_triplets(m, ncols, std::move(trip));
+}
+
+// max_i |ftran(basis column i) - e_i|: zero iff the factorization represents
+// exactly the claimed basis.
+double basis_residual(LuFactorization& lu, const SparseMatrix& A,
+                      const std::vector<std::uint32_t>& basis) {
+  const std::size_t m = basis.size();
+  double err = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> v(m, 0.0);
+    A.scatter_col(basis[i], v);
+    lu.ftran(v);
+    for (std::size_t r = 0; r < m; ++r)
+      err = std::max(err, std::abs(v[r] - (r == i ? 1.0 : 0.0)));
+  }
+  return err;
+}
+
+TEST(LpLu, FactorizeSolvesRandomBases) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t m = 3 + rng.uniform_index(30);
+    SparseMatrix A = random_pool(rng, m, m + 10);
+    std::vector<std::uint32_t> basis(m);
+    for (std::size_t i = 0; i < m; ++i)
+      basis[i] = static_cast<std::uint32_t>(i);
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(A, basis, kOpt)) << "seed " << seed;
+    EXPECT_LT(basis_residual(lu, A, basis), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LpLu, BtranIsTheTransposedSolve) {
+  // y = btran(c) must satisfy y' * (basis column i) == c[i] for every slot:
+  // that is B' y = c, the dual pricing solve.
+  for (std::uint64_t seed = 100; seed <= 120; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t m = 3 + rng.uniform_index(25);
+    SparseMatrix A = random_pool(rng, m, m + 6);
+    std::vector<std::uint32_t> basis(m);
+    for (std::size_t i = 0; i < m; ++i)
+      basis[i] = static_cast<std::uint32_t>(i);
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(A, basis, kOpt));
+    std::vector<double> c(m);
+    for (double& v : c) v = rng.uniform(-2.0, 2.0);
+    std::vector<double> y = c;
+    lu.btran(y);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double got = A.dot_col(basis[i], y);
+      EXPECT_NEAR(got, c[i], 1e-8) << "seed " << seed << " slot " << i;
+    }
+  }
+}
+
+TEST(LpLu, UpdateTracksColumnReplacements) {
+  // A simplex-shaped workload: chains of column replacements through
+  // update(), each validated against a from-scratch definition of the basis.
+  int accepted = 0;
+  for (std::uint64_t seed = 200; seed <= 230; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t m = 4 + rng.uniform_index(25);
+    const std::size_t ncols = m + 15;
+    SparseMatrix A = random_pool(rng, m, ncols);
+    std::vector<std::uint32_t> basis(m);
+    for (std::size_t i = 0; i < m; ++i)
+      basis[i] = static_cast<std::uint32_t>(i);
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(A, basis, kOpt));
+
+    for (int step = 0; step < 30; ++step) {
+      const auto j = static_cast<std::uint32_t>(rng.uniform_index(ncols));
+      bool in_basis = false;
+      for (const std::uint32_t c : basis) in_basis |= (c == j);
+      if (in_basis) continue;
+      const auto slot = static_cast<std::uint32_t>(rng.uniform_index(m));
+      std::vector<double> v(m, 0.0);
+      A.scatter_col(j, v);
+      lu.ftran(v, /*save_spike=*/true);
+      if (std::abs(v[slot]) < 1e-6) continue;  // simplex would not pivot here
+      const double old_diag = lu.diag_of(slot);
+      if (!lu.update(slot, v[slot])) {
+        // A refusal must leave the factorization flagged for rebuild.
+        EXPECT_FALSE(lu.valid());
+        basis[slot] = j;
+        ASSERT_TRUE(lu.factorize(A, basis, kOpt));
+        continue;
+      }
+      ++accepted;
+      basis[slot] = j;
+      EXPECT_LT(basis_residual(lu, A, basis), 1e-7)
+          << "seed " << seed << " step " << step;
+      // Determinant lemma: |newdiag| == |pivot| * |old diag|.
+      const double expect = std::abs(v[slot]) * std::abs(old_diag);
+      EXPECT_NEAR(std::abs(lu.diag_of(slot)), expect,
+                  1e-6 * std::max(1.0, expect));
+    }
+  }
+  EXPECT_GT(accepted, 100);  // the battery must actually exercise update()
+}
+
+TEST(LpLu, UpdateRefusesInconsistentPivotEstimate) {
+  // Feeding the accuracy test a pivot estimate that contradicts the
+  // re-eliminated diagonal must refuse the update and invalidate the
+  // factorization — this is the drift detector that keeps a dependent
+  // column from silently replacing a basis column.
+  util::Rng rng(7);
+  const std::size_t m = 12;
+  SparseMatrix A = random_pool(rng, m, m + 8);
+  std::vector<std::uint32_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = static_cast<std::uint32_t>(i);
+  LuFactorization lu;
+  ASSERT_TRUE(lu.factorize(A, basis, kOpt));
+  std::vector<double> v(m, 0.0);
+  A.scatter_col(m + 3, v);
+  lu.ftran(v, /*save_spike=*/true);
+  std::uint32_t slot = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (std::abs(v[i]) > std::abs(v[slot])) slot = static_cast<std::uint32_t>(i);
+  ASSERT_GT(std::abs(v[slot]), 1e-6);
+  EXPECT_FALSE(lu.update(slot, 10.0 * v[slot] + 1.0));
+  EXPECT_FALSE(lu.valid());
+}
+
+TEST(LpLu, RelativeDropKeepsIllScaledEntries) {
+  // Columns scaled by 1e9: an absolute drop tolerance (the old eta file's
+  // documented bug) would truncate the small-but-relatively-large entries of
+  // down-scaled columns; the relative drop must keep solves accurate.
+  for (const double scale : {1e-9, 1.0, 1e9}) {
+    util::Rng rng(42);
+    const std::size_t m = 20;
+    SparseMatrix A = random_pool(rng, m, m + 10, scale);
+    std::vector<std::uint32_t> basis(m);
+    for (std::size_t i = 0; i < m; ++i)
+      basis[i] = static_cast<std::uint32_t>(i);
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(A, basis, kOpt)) << "scale " << scale;
+    EXPECT_LT(basis_residual(lu, A, basis), 1e-8) << "scale " << scale;
+  }
+}
+
+}  // namespace
+}  // namespace figret::lp
