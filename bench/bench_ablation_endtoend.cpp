@@ -90,6 +90,8 @@ int main() {
   add_two_stage(std::make_unique<traffic::LinearTrendPredictor>());
 
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
+  bench::write_json("ablation_endtoend");
   std::cout << "\nIf lower MSE implied lower MLU the last column would sort "
                "the table; it does not.\n";
   return 0;

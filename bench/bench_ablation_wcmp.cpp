@@ -47,6 +47,7 @@ int main() {
         sc.trace.snapshots.data() + (tidx - fopt.history), fopt.history};
     configs.push_back(figret.advise(history));
   }
+  std::vector<double> loads;  // reused edge-load scratch
   auto evaluate = [&](const char* label, std::uint32_t table) {
     std::vector<double> normalized;
     double worst_err = 0.0;
@@ -59,7 +60,7 @@ int main() {
         cfg = te::ratios_from_wcmp(sc.ps, w);
       }
       normalized.push_back(
-          te::mlu(sc.ps, sc.trace[harness.eval_indices()[i]], cfg) /
+          te::mlu(sc.ps, sc.trace[harness.eval_indices()[i]], cfg, loads) /
           std::max(omni[i], 1e-12));
     }
     t.add_row({label, util::fmt(util::mean(normalized), 4),
@@ -74,5 +75,7 @@ int main() {
   evaluate("8 entries", 8);
   evaluate("4 entries", 4);
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
+  bench::write_json("ablation_wcmp");
   return 0;
 }

@@ -38,5 +38,7 @@ int main() {
     t.add_row(bench::eval_row(harness.evaluate(scheme)));
   }
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
+  bench::write_json("ablation_weight");
   return 0;
 }

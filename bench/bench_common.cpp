@@ -1,12 +1,14 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <iostream>
 #include <ostream>
 #include <stdexcept>
 
 #include "net/topology.h"
 #include "net/yen.h"
 #include "traffic/generators.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace figret::bench {
@@ -135,6 +137,63 @@ std::vector<std::string> eval_row(const te::SchemeEval& ev) {
           util::fmt(s.max, 4),
           std::to_string(ev.severe_congestion),
           util::fmt(ev.mean_advise_seconds * 1e3, 3)};
+}
+
+namespace {
+
+// Accumulators for the BENCH_*.json mirror. Bench binaries are
+// single-threaded mains, so process-global state keeps the per-bench diff to
+// one call per printed table instead of threading a sink through every
+// helper signature.
+util::Json& sink_tables() {
+  static util::Json j = util::Json::array();
+  return j;
+}
+
+util::Json& sink_checks() {
+  static util::Json j = util::Json::array();
+  return j;
+}
+
+}  // namespace
+
+void json_add_table(const std::string& section, const util::Table& table) {
+  util::Json tab = util::Json::object();
+  tab.set("section", section);
+  util::Json rows = util::Json::array();
+  const auto& header = table.header();
+  for (const auto& row : table.row_data()) {
+    util::Json obj = util::Json::object();
+    for (std::size_t c = 0; c < header.size() && c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (!cell.empty() && end != nullptr && *end == '\0')
+        obj.set(header[c], v);
+      else
+        obj.set(header[c], cell);
+    }
+    rows.push(std::move(obj));
+  }
+  tab.set("rows", std::move(rows));
+  sink_tables().push(std::move(tab));
+}
+
+void json_add_check(const std::string& name, bool pass) {
+  sink_checks().push(
+      util::Json::object().set("check", name).set("pass", pass));
+}
+
+void write_json(const std::string& bench_id) {
+  util::Json j = util::Json::object();
+  j.set("bench", bench_id).set("full_mode", full_mode());
+  j.set("tables", std::move(sink_tables()));
+  if (sink_checks().size() > 0) j.set("checks", std::move(sink_checks()));
+  sink_tables() = util::Json::array();
+  sink_checks() = util::Json::array();
+  const std::string path = "BENCH_" + bench_id + ".json";
+  j.write_file(path);
+  std::cout << "machine-readable results: " << path << "\n";
 }
 
 }  // namespace figret::bench

@@ -16,6 +16,7 @@
 #include "te/harness.h"
 #include "te/pathset.h"
 #include "traffic/demand.h"
+#include "util/table.h"
 
 namespace figret::bench {
 
@@ -57,5 +58,15 @@ void print_header(std::ostream& os, const std::string& figure,
 /// Formats a SchemeEval as the columns used across the Fig 5-style tables.
 std::vector<std::string> eval_row(const te::SchemeEval& ev);
 std::vector<std::string> eval_header();
+
+/// Machine-readable mirror of the printed tables. Benches call
+/// json_add_table after each Table::print (the section is usually the
+/// scenario name), json_add_check for each pass/fail assertion, and
+/// write_json once at the end of main to emit BENCH_<id>.json next to the
+/// binary — the same artifact shape the dedicated JSON benches produce.
+/// Cells that parse fully as numbers are emitted as JSON numbers.
+void json_add_table(const std::string& section, const util::Table& table);
+void json_add_check(const std::string& name, bool pass);
+void write_json(const std::string& bench_id);
 
 }  // namespace figret::bench

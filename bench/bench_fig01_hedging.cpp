@@ -30,13 +30,14 @@ SeriesStats run_scheme(const bench::Scenario& sc, te::TeScheme& scheme) {
   const std::size_t window = std::max<std::size_t>(1, scheme.history_window());
   SeriesStats out;
   std::vector<double> raw;
+  std::vector<double> loads;  // reused edge-load scratch across snapshots
   // Walk the tail of the trace, one configuration per snapshot.
   const std::size_t begin = std::max<std::size_t>(window, sc.trace.size() / 2);
   for (std::size_t t = begin; t < sc.trace.size(); t += sc.eval_stride) {
     const std::span<const traffic::DemandMatrix> history{
         sc.trace.snapshots.data() + (t - window), window};
     const te::TeConfig cfg = scheme.advise(history);
-    raw.push_back(te::mlu(sc.ps, sc.trace[t], cfg));
+    raw.push_back(te::mlu(sc.ps, sc.trace[t], cfg, loads));
   }
   const double top = util::percentile(raw, 100.0);
   out.peak = util::percentile(raw, 99.0);
@@ -67,6 +68,7 @@ void run_scenario(const std::string& name) {
                     {hedge.mean, hedge.trough, hedge.peak,
                      hedge.peak / std::max(hedge.trough, 1e-12)});
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
 
   std::cout << "normalized series (every 4th point):\n  no-hedge:";
   for (std::size_t i = 0; i < none.series.size(); i += 4)
@@ -80,6 +82,10 @@ void run_scenario(const std::string& name) {
             << (none.peak >= hedge.peak ? "yes" : "NO") << '\n';
   std::cout << "check: no-hedging trough <= hedging trough: "
             << (none.trough <= hedge.trough ? "yes" : "NO") << '\n';
+  bench::json_add_check(sc.name + ": no-hedging peak >= hedging peak",
+                        none.peak >= hedge.peak);
+  bench::json_add_check(sc.name + ": no-hedging trough <= hedging trough",
+                        none.trough <= hedge.trough);
 }
 
 }  // namespace
@@ -91,5 +97,6 @@ int main() {
       "volatility grows WAN -> PoD -> ToR",
       "Meta traces replaced by synthetic equivalents (DESIGN.md §2)");
   for (const char* name : {"GEANT", "PoD-DB", "ToR-DB"}) run_scenario(name);
+  bench::write_json("fig01_hedging");
   return 0;
 }

@@ -48,8 +48,11 @@ void run_scenario(const std::string& name) {
   t.add_row({"fraction > 0.5", util::fmt(frac_above(0.5), 4)});
   t.add_row({"fraction > 0.1", util::fmt(frac_above(0.1), 4)});
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
   std::cout << "check: heterogeneous (median << max): "
             << (s.median < 0.5 * s.max ? "yes" : "NO") << '\n';
+  bench::json_add_check(sc.name + ": heterogeneous (median << max)",
+                        s.median < 0.5 * s.max);
 }
 
 }  // namespace
@@ -60,5 +63,6 @@ int main() {
       "per-pair variance is highly heterogeneous in WAN, PoD and ToR traffic",
       "");
   for (const char* name : {"GEANT", "PoD-DB", "ToR-DB"}) run_scenario(name);
+  bench::write_json("fig02_variance");
   return 0;
 }

@@ -79,13 +79,14 @@ int main() {
       {"burst3 B->C=4", tri.demand(1, 1, 4)},
   };
 
+  std::vector<double> loads;  // reused edge-load scratch
   std::vector<std::string> header{"scheme"};
   for (const auto& [cname, dm] : cases) header.push_back(cname);
   util::Table t(header);
   for (const auto& [sname, cfg] : schemes) {
     std::vector<std::string> row{sname};
     for (const auto& [cname, dm] : cases)
-      row.push_back(util::fmt(te::mlu(tri.ps, dm, cfg), 4));
+      row.push_back(util::fmt(te::mlu(tri.ps, dm, cfg, loads), 4));
     t.add_row(std::move(row));
   }
   // Omniscient LP row for context.
@@ -96,6 +97,8 @@ int main() {
   }
   t.add_row(std::move(opt_row));
   t.print(std::cout);
+  bench::json_add_table("triangle", t);
+  bench::write_json("fig03_tradeoff");
 
   std::cout << "\nexpected (paper / directed model):\n"
                "  scheme 1: 0.5, 2, 2, 2\n"

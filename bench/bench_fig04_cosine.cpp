@@ -35,6 +35,7 @@ int main() {
     medians.push_back({name, s.median});
   }
   t.print(std::cout);
+  bench::json_add_table("window_max_cosine", t);
 
   auto median_of = [&](const std::string& n) {
     for (const Row& r : medians)
@@ -51,5 +52,12 @@ int main() {
             << (median_of("PoD-DB") >= median_of("ToR-DB") - 1e-9 ? "yes"
                                                                   : "NO")
             << '\n';
+  bench::json_add_check("gravity WAN >= real WAN",
+                        median_of("UsCarrier") >= median_of("GEANT") - 1e-9);
+  bench::json_add_check("WAN >= PoD-level",
+                        median_of("GEANT") >= median_of("PoD-DB") - 1e-9);
+  bench::json_add_check("PoD >= ToR-level",
+                        median_of("PoD-DB") >= median_of("ToR-DB") - 1e-9);
+  bench::write_json("fig04_cosine");
   return 0;
 }

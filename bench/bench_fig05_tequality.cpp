@@ -85,6 +85,7 @@ void run_scenario(const std::string& name) {
   std::cout << "\n--- " << sc.name << " (" << sc.note << "; "
             << harness.eval_indices().size() << " eval snapshots) ---\n";
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
 }
 
 }  // namespace
@@ -97,5 +98,6 @@ int main() {
       "avg; fewer severe-congestion events than DOTE on bursty ToR traces",
       "ToR/Topology-Zoo instances scaled down; see per-scenario notes");
   for (const std::string& name : bench::scenario_names()) run_scenario(name);
+  bench::write_json("fig05_tequality");
   return 0;
 }

@@ -56,6 +56,7 @@ void run_scenario(const std::string& name) {
   std::cout << "\n--- " << sc.name << " with Racke-style paths ("
             << harness.eval_indices().size() << " eval snapshots) ---\n";
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
 }
 
 }  // namespace
@@ -68,5 +69,6 @@ int main() {
       "Racke trees approximated by congestion-penalized path selection "
       "(DESIGN.md §2)");
   for (const char* name : {"GEANT", "pFabric"}) run_scenario(name);
+  bench::write_json("fig06_smore");
   return 0;
 }

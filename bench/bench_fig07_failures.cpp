@@ -59,6 +59,9 @@ void run(const std::string& scenario_name) {
     std::cout << "\n--- " << sc.name << ", " << failures
               << " random link failure(s) ---\n";
     t.print(std::cout);
+    bench::json_add_table(sc.name + ", " + std::to_string(failures) +
+                              " failure(s)",
+                          t);
   }
 }
 
@@ -71,5 +74,6 @@ int main() {
       "failure-aware Des TE",
       "oracle = omniscient LP restricted to surviving paths");
   run("GEANT");
+  bench::write_json("fig07_failures");
   return 0;
 }

@@ -67,6 +67,7 @@ void print_binned(const std::string& label, const std::vector<double>& var,
   }
   std::cout << label << ":\n";
   t.print(std::cout);
+  bench::json_add_table(label, t);
   std::cout << "Spearman(variance, S^max) = "
             << util::fmt(util::spearman(var, sens), 4) << "\n\n";
 }
@@ -87,11 +88,14 @@ void run_scenario(const std::string& name) {
   te::DesensitizationTe hedge(sc.ps, dopt);
   hedge.fit(harness.train_trace());
   const auto hedge_sens = mean_sensitivities(sc, harness, hedge);
-  print_binned("Hedge-based TE (uniform cap 0.5)", var, hedge_sens);
+  print_binned(sc.name + ": Hedge-based TE (uniform cap 0.5)", var,
+               hedge_sens);
   const double hedge_max =
       *std::max_element(hedge_sens.begin(), hedge_sens.end());
   std::cout << "check: hedge sensitivities capped at 0.5: "
             << (hedge_max <= 0.5 + 1e-6 ? "yes" : "NO") << "\n\n";
+  bench::json_add_check(sc.name + ": hedge sensitivities capped at 0.5",
+                        hedge_max <= 0.5 + 1e-6);
 
   const bench::TrainProfile prof = bench::train_profile();
   te::FigretOptions fopt;
@@ -102,10 +106,13 @@ void run_scenario(const std::string& name) {
   te::FigretScheme figret(sc.ps, fopt);
   figret.fit(harness.train_trace());
   const auto fig_sens = mean_sensitivities(sc, harness, figret);
-  print_binned("FIGRET", var, fig_sens);
+  print_binned(sc.name + ": FIGRET", var, fig_sens);
   std::cout << "check: FIGRET sensitivity anti-correlates with variance "
                "(bursty pairs pushed to low sensitivity): "
             << (util::spearman(var, fig_sens) < 0.0 ? "yes" : "NO") << '\n';
+  bench::json_add_check(
+      sc.name + ": FIGRET sensitivity anti-correlates with variance",
+      util::spearman(var, fig_sens) < 0.0);
 }
 
 }  // namespace
@@ -117,5 +124,6 @@ int main() {
       "fine-grained way (low for bursty pairs, free for stable ones)",
       "");
   for (const char* name : {"PoD-DB", "ToR-DB"}) run_scenario(name);
+  bench::write_json("fig08_sensitivity");
   return 0;
 }

@@ -65,5 +65,7 @@ int main() {
   te::DesensitizationTe des(sc.ps, dopt);
   t.add_row(bench::eval_row(harness.evaluate(des)));
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
+  bench::write_json("fig10_linearF");
   return 0;
 }

@@ -63,5 +63,7 @@ int main() {
     t.add_row(bench::eval_row(harness.evaluate(scheme)));
   }
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
+  bench::write_json("fig12_piecewiseF");
   return 0;
 }

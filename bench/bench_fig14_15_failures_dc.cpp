@@ -57,6 +57,9 @@ void run(const std::string& scenario_name) {
     std::cout << "\n--- " << sc.name << ", " << failures
               << " random link failure(s) ---\n";
     t.print(std::cout);
+    bench::json_add_table(sc.name + ", " + std::to_string(failures) +
+                              " failure(s)",
+                          t);
   }
 }
 
@@ -70,5 +73,6 @@ int main() {
       "ToR fabric scaled down (DESIGN.md §2)");
   run("pFabric");
   run("ToR-DB");
+  bench::write_json("fig14_15_failures_dc");
   return 0;
 }

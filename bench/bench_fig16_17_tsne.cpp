@@ -79,6 +79,7 @@ void run(const std::string& name) {
 
   std::cout << "\n--- " << sc.name << " (" << emb.n << " snapshots embedded) ---\n";
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
   std::cout << "mean within-segment spread: " << util::fmt(total_spread, 3)
             << "\nmax centroid shift:         "
             << util::fmt(max_centroid_shift, 3)
@@ -97,5 +98,6 @@ int main() {
       "exact O(n^2) t-SNE on subsampled snapshots");
   run("PoD-DB");
   run("ToR-DB");
+  bench::write_json("fig16_17_tsne");
   return 0;
 }

@@ -32,6 +32,8 @@ int main() {
                util::fmt(m64 - m12, 4)});
   }
   t.print(std::cout);
+  bench::json_add_table("window_similarity", t);
   std::cout << "check: median gains are small (< 0.05) across topologies\n";
+  bench::write_json("fig18_window");
   return 0;
 }

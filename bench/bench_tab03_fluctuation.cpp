@@ -64,6 +64,7 @@ void run(const std::string& name) {
             << util::fmt(base.average, 4) << ", p90 "
             << util::fmt(base.p90, 4) << ") ---\n";
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
 }
 
 }  // namespace
@@ -75,5 +76,6 @@ int main() {
       "at alpha = 2",
       "negative values mean no degradation (as in the paper)");
   for (const char* name : {"PoD-DB", "pFabric", "ToR-DB"}) run(name);
+  bench::write_json("tab03_fluctuation");
   return 0;
 }

@@ -60,6 +60,7 @@ void run(const std::string& name) {
   std::cout << "\n--- " << sc.name << " (baseline: train on 0%-75%, avg "
             << util::fmt(base.average, 4) << ") ---\n";
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
 }
 
 }  // namespace
@@ -71,5 +72,6 @@ int main() {
       "drift effect slightly larger at ToR level",
       "negative values mean no degradation (as in the paper)");
   for (const char* name : {"PoD-DB", "pFabric", "ToR-DB"}) run(name);
+  bench::write_json("tab04_drift");
   return 0;
 }

@@ -75,6 +75,7 @@ void run(const std::string& name) {
                                     traffic::pair_variances(test));
   std::cout << "\n--- " << sc.name << " ---\n";
   t.print(std::cout);
+  bench::json_add_table(sc.name, t);
   std::cout << "Spearman(variance ranks, train vs test) = "
             << util::fmt(rho, 3)
             << "  (paper: 0.92 PoD DB / 0.98 ToR DB — reversal is rare)\n";
@@ -90,5 +91,6 @@ int main() {
       "stable across time so the attack is unrealistic",
       "negative values mean no degradation (as in the paper)");
   for (const char* name : {"PoD-DB", "pFabric", "ToR-DB"}) run(name);
+  bench::write_json("tab05_worstcase");
   return 0;
 }

@@ -54,12 +54,13 @@ int main() {
   std::size_t window_count = 0, window_begin = initial_train_end;
   std::size_t retrain_count = 0;
   std::string retrain_note = "no";
+  std::vector<double> loads;  // reused edge-load scratch across epochs
 
   for (std::size_t epoch = initial_train_end; epoch < trace.size(); ++epoch) {
     const std::span<const traffic::DemandMatrix> history{
         trace.snapshots.data() + (epoch - fopt.history), fopt.history};
     const te::TeConfig cfg = figret.advise(history);
-    const double raw = te::mlu(paths, trace[epoch], cfg);
+    const double raw = te::mlu(paths, trace[epoch], cfg, loads);
     const te::MluLpResult oracle = te::solve_mlu_lp(paths, trace[epoch]);
     const double normalized = raw / std::max(oracle.mlu, 1e-12);
 

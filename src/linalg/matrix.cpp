@@ -1,10 +1,112 @@
 #include "linalg/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+// Runtime-dispatched ISA clones for the hot kernels: GCC emits a baseline
+// x86-64 variant plus an AVX2/FMA (x86-64-v3) variant of each annotated
+// function and selects via ifunc at load time, so one binary stays portable
+// while fabric-scale matmuls get 256-bit FMA where the CPU has it. The
+// microkernels below are force-inlined so every cloned caller compiles them
+// under its own ISA; all fast kernels carry the same clone list, so on any
+// given machine they resolve to the same variant and remain bitwise
+// consistent with each other. The *_reference kernels are deliberately not
+// cloned — they are the pre-optimization baseline the differential tests and
+// benches compare against.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define FIGRET_ISA_CLONES \
+  __attribute__((target_clones("arch=x86-64-v3", "default")))
+#define FIGRET_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define FIGRET_ISA_CLONES
+#define FIGRET_FORCE_INLINE inline
+#endif
+
 namespace figret::linalg {
+namespace {
+
+std::atomic<KernelMode> g_kernel_mode{KernelMode::kTiled};
+
+// ---------------------------------------------------------------------------
+// Microkernels. All reductions use kLanes (16) independent accumulator
+// chains over lanes k % kLanes, combined by a fixed pairwise tree. Writing
+// the lanes out explicitly lets the compiler vectorize without -ffast-math
+// (the lane layout is exactly what SIMD hardware computes), and the fixed
+// order makes every kernel that reduces — dot, matvec, matmul_t — bitwise
+// consistent with the others, which is what keeps Mlp::forward_batch
+// identical to per-sample forward.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kLanes = 16;
+
+// Accumulates lane j of `c` with products a[k]*b[k] for k = j (mod kLanes),
+// in ascending k. Carrying `c` across calls lets callers tile the reduction
+// dimension without changing the order: chunk boundaries at multiples of
+// kLanes keep k % kLanes consistent, so a chunked accumulation is
+// bit-identical to one pass.
+FIGRET_FORCE_INLINE void lanes_accum(double* c, const double* a,
+                                     const double* b, std::size_t n) noexcept {
+  // 16 lanes = 4 independent 4-wide vector FMA chains: one vector accumulator
+  // is latency-bound (a 4-5 cycle FMA chain per step), four keep the FMA
+  // ports busy. Loads stay contiguous so the compiler's SLP vectorizer maps
+  // lane j to vector slot j % 4 without gathers. The local copy keeps the
+  // chains in registers for the whole sweep. (32 lanes was measured too: it
+  // helps the longest reductions slightly but doubles the tiled-path
+  // accumulator footprint and loses on short rows; 16 is the better balance.)
+  double t[kLanes];
+  for (std::size_t j = 0; j < kLanes; ++j) t[j] = c[j];
+  std::size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes)
+    for (std::size_t j = 0; j < kLanes; ++j) t[j] += a[k + j] * b[k + j];
+  // Tail lanes continue their chains so the order stays length-independent.
+  for (; k < n; ++k) t[k % kLanes] += a[k] * b[k];
+  for (std::size_t j = 0; j < kLanes; ++j) c[j] = t[j];
+}
+
+// Fixed pairwise tree: ((c0+c1)+(c2+c3)) + ... — deterministic, and the
+// final reduction every fast kernel (dot, matvec, matmul_t) shares.
+FIGRET_FORCE_INLINE double lanes_tree(const double* c) noexcept {
+  double t[kLanes];
+  for (std::size_t j = 0; j < kLanes; ++j) t[j] = c[j];
+  for (std::size_t w = 1; w < kLanes; w <<= 1)
+    for (std::size_t j = 0; j + w < kLanes; j += 2 * w) t[j] += t[j + w];
+  return t[0];
+}
+
+FIGRET_FORCE_INLINE double dot_lanes(const double* a, const double* b,
+                                     std::size_t n) noexcept {
+  double c[kLanes] = {0.0};
+  lanes_accum(c, a, b, n);
+  return lanes_tree(c);
+}
+
+// out[0..n) += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]: the rank-4 update
+// shared by matmul and t_matmul. Branch-free, stride-1 on every stream, four
+// FMAs per load/store of the output row.
+FIGRET_FORCE_INLINE void rank4_update(double* out, std::size_t n, double a0,
+                         const double* b0, double a1, const double* b1,
+                         double a2, const double* b2, double a3,
+                         const double* b3) noexcept {
+  for (std::size_t j = 0; j < n; ++j)
+    out[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+}
+
+FIGRET_FORCE_INLINE void rank1_update(double* out, std::size_t n, double a,
+                         const double* b) noexcept {
+  for (std::size_t j = 0; j < n; ++j) out[j] += a * b[j];
+}
+
+}  // namespace
+
+void set_kernel_mode(KernelMode mode) noexcept {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode kernel_mode() noexcept {
+  return g_kernel_mode.load(std::memory_order_relaxed);
+}
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -33,11 +135,37 @@ Matrix Matrix::transposed() const {
   return t;
 }
 
+FIGRET_ISA_CLONES
 Matrix Matrix::matmul(const Matrix& other) const {
   if (cols_ != other.rows_)
     throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
+  if (kernel_mode() == KernelMode::kReference) return matmul_reference(other);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop stride-1 on both inputs.
+  const std::size_t n = other.cols_;
+  // i-(k by 4)-j: four rows of B per sweep of the output row. No zero-skip
+  // branch — the dense path must not pay a compare per scalar (the footgun
+  // the reference kernel keeps for sparsity-heavy callers).
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * cols_;
+    double* orow = out.data_.data() + i * n;
+    std::size_t k = 0;
+    for (; k + 4 <= cols_; k += 4) {
+      const double* b = other.data_.data() + k * n;
+      rank4_update(orow, n, arow[k], b, arow[k + 1], b + n, arow[k + 2],
+                   b + 2 * n, arow[k + 3], b + 3 * n);
+    }
+    for (; k < cols_; ++k)
+      rank1_update(orow, n, arow[k], other.data_.data() + k * n);
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_reference(const Matrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  // The pre-optimization i-k-j kernel, zero-skip branch included: profitable
+  // only when the left operand is mostly zeros.
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = (*this)(i, k);
@@ -50,7 +178,36 @@ Matrix Matrix::matmul(const Matrix& other) const {
   return out;
 }
 
+FIGRET_ISA_CLONES
 Matrix Matrix::t_matmul(const Matrix& other) const {
+  if (rows_ != other.rows_)
+    throw std::invalid_argument("Matrix::t_matmul: dimension mismatch");
+  if (kernel_mode() == KernelMode::kReference)
+    return t_matmul_reference(other);
+  Matrix out(cols_, other.cols_);
+  const std::size_t n = other.cols_;
+  // (k by 4)-i-j: out(i,:) accumulates four k-terms per sweep; A is read
+  // column-wise but only four scalars per output row, B rows stay hot.
+  std::size_t k = 0;
+  for (; k + 4 <= rows_; k += 4) {
+    const double* a0 = data_.data() + k * cols_;
+    const double* b0 = other.data_.data() + k * n;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      rank4_update(out.data_.data() + i * n, n, a0[i], b0, a0[cols_ + i],
+                   b0 + n, a0[2 * cols_ + i], b0 + 2 * n, a0[3 * cols_ + i],
+                   b0 + 3 * n);
+    }
+  }
+  for (; k < rows_; ++k) {
+    const double* arow = data_.data() + k * cols_;
+    const double* brow = other.data_.data() + k * n;
+    for (std::size_t i = 0; i < cols_; ++i)
+      rank1_update(out.data_.data() + i * n, n, arow[i], brow);
+  }
+  return out;
+}
+
+Matrix Matrix::t_matmul_reference(const Matrix& other) const {
   if (rows_ != other.rows_)
     throw std::invalid_argument("Matrix::t_matmul: dimension mismatch");
   Matrix out(cols_, other.cols_);
@@ -67,7 +224,64 @@ Matrix Matrix::t_matmul(const Matrix& other) const {
   return out;
 }
 
+FIGRET_ISA_CLONES
 Matrix Matrix::matmul_t(const Matrix& other) const {
+  if (cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::matmul_t: dimension mismatch");
+  if (kernel_mode() == KernelMode::kReference)
+    return matmul_t_reference(other);
+  Matrix out(rows_, other.rows_);
+  // Each output element is a row-by-row dot; dot_lanes gives four independent
+  // FMA chains (the naive single-accumulator loop is latency-bound because
+  // FP addition cannot be reassociated). Rows of A are processed in blocks
+  // with j swept innermost-but-one, so each B row streams from memory once
+  // per block and is reused across the whole block from cache — at fabric
+  // scale (weight matrices far larger than LLC) the unblocked loop re-streams
+  // B once per A row and goes memory-bound. The per-element reduction order
+  // is unchanged by the blocking, so results stay bit-identical.
+  constexpr std::size_t kRowBlock = 8;
+  const std::size_t oc = out.cols_;
+  const std::size_t jr = other.rows_;
+  // Long reduction dimensions additionally tile k so each sweep touches an
+  // L1/L2-resident slice of every stream; the lane accumulators are carried
+  // across tiles (k % kLanes is preserved because the tile width is a
+  // multiple of kLanes), so the chunked reduction stays bit-identical to a
+  // single pass. The carry buffer is bounded to ~0.5 MB — shapes with both
+  // dimensions huge fall back to the untiled sweep.
+  constexpr std::size_t kKTile = 2048;
+  static_assert(kKTile % kLanes == 0);
+  const bool tile_k = cols_ > kKTile && jr <= 512;
+  std::vector<double> acc;
+  for (std::size_t i0 = 0; i0 < rows_; i0 += kRowBlock) {
+    const std::size_t i1 = std::min(i0 + kRowBlock, rows_);
+    if (tile_k) {
+      acc.assign((i1 - i0) * jr * kLanes, 0.0);
+      for (std::size_t k0 = 0; k0 < cols_; k0 += kKTile) {
+        const std::size_t len = std::min(kKTile, cols_ - k0);
+        for (std::size_t j = 0; j < jr; ++j) {
+          const double* brow = other.data_.data() + j * other.cols_ + k0;
+          for (std::size_t i = i0; i < i1; ++i)
+            lanes_accum(acc.data() + ((i - i0) * jr + j) * kLanes,
+                        data_.data() + i * cols_ + k0, brow, len);
+        }
+      }
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = 0; j < jr; ++j)
+          out.data_[i * oc + j] =
+              lanes_tree(acc.data() + ((i - i0) * jr + j) * kLanes);
+    } else {
+      for (std::size_t j = 0; j < jr; ++j) {
+        const double* brow = other.data_.data() + j * other.cols_;
+        for (std::size_t i = i0; i < i1; ++i)
+          out.data_[i * oc + j] =
+              dot_lanes(data_.data() + i * cols_, brow, cols_);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_t_reference(const Matrix& other) const {
   if (cols_ != other.cols_)
     throw std::invalid_argument("Matrix::matmul_t: dimension mismatch");
   Matrix out(rows_, other.rows_);
@@ -128,18 +342,27 @@ Matrix operator*(Matrix a, double s) { return a *= s; }
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   if (a.cols() != x.size())
     throw std::invalid_argument("matvec: dimension mismatch");
-  std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  std::vector<double> y;
+  matvec_into(a, x, y);
   return y;
 }
 
-double dot(std::span<const double> a, std::span<const double> b) noexcept {
-  const std::size_t n = std::min(a.size(), b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+FIGRET_ISA_CLONES
+void matvec_into(const Matrix& a, std::span<const double> x,
+                 std::vector<double>& y) {
+  if (a.cols() != x.size())
+    throw std::invalid_argument("matvec: dimension mismatch");
+  y.resize(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    y[i] = dot_lanes(a.row(i).data(), x.data(), a.cols());
 }
 
+FIGRET_ISA_CLONES
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  return dot_lanes(a.data(), b.data(), std::min(a.size(), b.size()));
+}
+
+FIGRET_ISA_CLONES
 void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
   const std::size_t n = std::min(x.size(), y.size());
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];

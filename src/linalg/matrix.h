@@ -2,6 +2,16 @@
 // small analytic computations. Deliberately not a general linear-algebra
 // framework: only the kernels the repository needs, each with checked
 // dimensions (throws std::invalid_argument on mismatch).
+//
+// Kernel design (fabric-scale hot paths): the three matmul variants run
+// cache-blocked tiled kernels with branch-free, explicitly vectorizable
+// microkernels — 16 independent accumulator chains per reduction so the
+// compiler can keep FMA pipelines full without -ffast-math reassociation.
+// Every reduction (dot, matvec, matmul_t element) sums in the *same* fixed
+// order, so the batched NN forward is bit-identical to the per-sample path.
+// The pre-optimization kernels survive as the *_reference variants: they are
+// the differential-test oracles and the bench baselines, and matmul_reference
+// keeps the zero-skip branch for sparsity-heavy callers that want it.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +19,13 @@
 #include <vector>
 
 namespace figret::linalg {
+
+/// Process-wide kernel selection, used by benches and differential tests to
+/// run the pre-optimization kernels through the exact same call sites.
+/// Not thread-safe to toggle while kernels run; default is kTiled.
+enum class KernelMode { kTiled, kReference };
+void set_kernel_mode(KernelMode mode) noexcept;
+KernelMode kernel_mode() noexcept;
 
 class Matrix {
  public:
@@ -50,6 +67,14 @@ class Matrix {
   /// this * transpose(other). Requires cols() == other.cols().
   Matrix matmul_t(const Matrix& other) const;
 
+  /// Pre-optimization kernels, kept as differential oracles and as the
+  /// sparse-aware variant (matmul_reference skips zero left-operand entries,
+  /// which LP-style callers with sparse operands may prefer over the dense
+  /// tiled path).
+  Matrix matmul_reference(const Matrix& other) const;
+  Matrix t_matmul_reference(const Matrix& other) const;
+  Matrix matmul_t_reference(const Matrix& other) const;
+
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double scalar) noexcept;
@@ -73,7 +98,14 @@ Matrix operator*(Matrix a, double s);
 /// y = A x for a row-major matrix and dense vector (checked dimensions).
 std::vector<double> matvec(const Matrix& a, std::span<const double> x);
 
-/// Dot product over the common prefix of the two spans.
+/// Allocation-free matvec: y is resized to a.rows(). Each y[i] reduces in the
+/// same order as dot(a.row(i), x).
+void matvec_into(const Matrix& a, std::span<const double> x,
+                 std::vector<double>& y);
+
+/// Dot product over the common prefix of the two spans. Sixteen independent
+/// accumulator chains (lanes k%16), combined by a fixed pairwise tree — the
+/// reduction order every matrix kernel shares.
 double dot(std::span<const double> a, std::span<const double> b) noexcept;
 
 /// y += alpha * x over the common prefix.

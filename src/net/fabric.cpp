@@ -1,0 +1,254 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace figret::net {
+namespace {
+
+// Assembles a Path from a node sequence, resolving each hop's arc id. Every
+// sequence below follows links the generator just created, so a missing arc
+// is a generator bug, not a user error.
+Path make_path(const Graph& g, std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes.begin(), nodes.end());
+  p.edges.reserve(p.nodes.size() - 1);
+  for (std::size_t h = 0; h + 1 < p.nodes.size(); ++h) {
+    const EdgeId e = g.find_edge(p.nodes[h], p.nodes[h + 1]);
+    if (e == g.num_edges())
+      throw std::logic_error("fabric path enumeration: missing arc");
+    p.edges.push_back(e);
+  }
+  return p;
+}
+
+}  // namespace
+
+FatTree fat_tree(std::size_t k, double edge_agg_capacity,
+                 double agg_core_capacity) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("fat_tree: k must be even and >= 2");
+  if (edge_agg_capacity <= 0.0 || agg_core_capacity <= 0.0)
+    throw std::invalid_argument("fat_tree: capacities must be > 0");
+
+  FatTree ft;
+  ft.k = k;
+  const std::size_t h = k / 2;
+  ft.graph = Graph(k * k + h * h);  // k^2/2 edge + k^2/2 agg + (k/2)^2 core
+
+  for (std::size_t p = 0; p < k; ++p) {
+    // Pod-internal complete bipartite edge <-> agg mesh.
+    for (std::size_t i = 0; i < h; ++i)
+      for (std::size_t a = 0; a < h; ++a)
+        ft.graph.add_link(ft.edge_sw(p, i), ft.agg_sw(p, a),
+                          edge_agg_capacity);
+    // Aggregation switch a uplinks to every core of group a.
+    for (std::size_t a = 0; a < h; ++a)
+      for (std::size_t j = 0; j < h; ++j)
+        ft.graph.add_link(ft.agg_sw(p, a), ft.core_sw(a, j),
+                          agg_core_capacity);
+  }
+  ft.graph.normalize_capacities();
+  return ft;
+}
+
+std::vector<std::vector<Path>> fat_tree_paths(const FatTree& ft,
+                                              std::size_t per_pair_limit) {
+  if (per_pair_limit == 0)
+    throw std::invalid_argument("fat_tree_paths: per_pair_limit must be >= 1");
+  const Graph& g = ft.graph;
+  const std::size_t k = ft.k;
+  const std::size_t h = ft.half();
+  const std::size_t n = g.num_nodes();
+  const std::size_t edges_end = ft.num_edge_switches();
+  const std::size_t aggs_end = edges_end + ft.num_agg_switches();
+
+  enum class Role { kEdge, kAgg, kCore };
+  // (role, x, y): pod+index for edge/agg switches, group+index for cores.
+  const auto classify = [&](NodeId v, std::size_t& x, std::size_t& y) {
+    std::size_t id = v;
+    if (id < edges_end) {
+      x = id / h;
+      y = id % h;
+      return Role::kEdge;
+    }
+    if (id < aggs_end) {
+      id -= edges_end;
+      x = id / h;
+      y = id % h;
+      return Role::kAgg;
+    }
+    id -= aggs_end;
+    x = id / h;
+    y = id % h;
+    return Role::kCore;
+  };
+
+  // Candidate spread: variant m of a pair offsets the chosen agg/core/edge
+  // devices by the endpoints' own indices mod the layer width, so different
+  // pairs fan out over different devices instead of piling on device 0.
+  const std::size_t lh = std::min(per_pair_limit, h);
+  const std::size_t lk = std::min(per_pair_limit, k);
+
+  std::vector<std::vector<Path>> out(n * n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      std::vector<Path>& paths = out[static_cast<std::size_t>(u) * n + v];
+      std::size_t p, i, q, j;
+      const Role ru = classify(u, p, i);
+      const Role rv = classify(v, q, j);
+
+      if (ru == Role::kEdge && rv == Role::kEdge) {
+        if (p == q) {  // intra-pod: one hop up to an agg, one down
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t a = (i + j + m) % h;
+            paths.push_back(make_path(g, {u, ft.agg_sw(p, a), v}));
+          }
+        } else {  // inter-pod: up to agg a, across core (a, c), down
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t a = (i + m) % h;
+            const std::size_t c = (j + m) % h;
+            paths.push_back(make_path(g, {u, ft.agg_sw(p, a),
+                                          ft.core_sw(a, c), ft.agg_sw(q, a),
+                                          v}));
+          }
+        }
+      } else if (ru == Role::kEdge && rv == Role::kAgg) {
+        if (p == q) {
+          paths.push_back(make_path(g, {u, v}));
+        } else {  // only group-j cores reach the destination agg
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t c = (i + m) % h;
+            paths.push_back(make_path(
+                g, {u, ft.agg_sw(p, j), ft.core_sw(j, c), v}));
+          }
+        }
+      } else if (ru == Role::kEdge && rv == Role::kCore) {
+        // Unique up-down route: the pod's group-q agg is the only way up.
+        paths.push_back(make_path(g, {u, ft.agg_sw(p, q), v}));
+      } else if (ru == Role::kAgg && rv == Role::kEdge) {
+        if (p == q) {
+          paths.push_back(make_path(g, {u, v}));
+        } else {
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t c = (j + m) % h;
+            paths.push_back(make_path(
+                g, {u, ft.core_sw(i, c), ft.agg_sw(q, i), v}));
+          }
+        }
+      } else if (ru == Role::kAgg && rv == Role::kAgg) {
+        if (p == q) {  // intra-pod aggs only meet through an edge switch
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t e = (i + j + m) % h;
+            paths.push_back(make_path(g, {u, ft.edge_sw(p, e), v}));
+          }
+        } else if (i == j) {  // same group: any shared core
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t c = (i + m) % h;
+            paths.push_back(make_path(g, {u, ft.core_sw(i, c), v}));
+          }
+        } else {  // cross the core in group i, then down-up in pod q
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t c = (i + m) % h;
+            const std::size_t e = (j + m) % h;
+            paths.push_back(make_path(g, {u, ft.core_sw(i, c),
+                                          ft.agg_sw(q, i), ft.edge_sw(q, e),
+                                          v}));
+          }
+        }
+      } else if (ru == Role::kAgg && rv == Role::kCore) {
+        if (i == q) {
+          paths.push_back(make_path(g, {u, v}));
+        } else {  // down to an edge switch, back up through the right group
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t e = (j + m) % h;
+            paths.push_back(make_path(
+                g, {u, ft.edge_sw(p, e), ft.agg_sw(p, q), v}));
+          }
+        }
+      } else if (ru == Role::kCore && rv == Role::kEdge) {
+        // Unique down route into the pod.
+        paths.push_back(make_path(g, {u, ft.agg_sw(q, p), v}));
+      } else if (ru == Role::kCore && rv == Role::kAgg) {
+        if (p == j) {
+          paths.push_back(make_path(g, {u, v}));
+        } else {
+          for (std::size_t m = 0; m < lh; ++m) {
+            const std::size_t e = (i + m) % h;
+            paths.push_back(make_path(
+                g, {u, ft.agg_sw(q, p), ft.edge_sw(q, e), v}));
+          }
+        }
+      } else {  // core -> core
+        if (p == q) {  // same group: down to any pod's group-p agg and back
+          for (std::size_t m = 0; m < lk; ++m) {
+            const std::size_t pod = (i + j + m) % k;
+            paths.push_back(make_path(g, {u, ft.agg_sw(pod, p), v}));
+          }
+        } else {  // different groups: full down-up through one pod
+          for (std::size_t m = 0; m < lk; ++m) {
+            const std::size_t pod = (i + m) % k;
+            const std::size_t e = (j + m) % h;
+            paths.push_back(make_path(g, {u, ft.agg_sw(pod, p),
+                                          ft.edge_sw(pod, e),
+                                          ft.agg_sw(pod, q), v}));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ClosPod clos_pod(std::size_t tors, std::size_t spines, double capacity) {
+  if (tors < 2 || spines < 1)
+    throw std::invalid_argument("clos_pod: need tors >= 2 and spines >= 1");
+  if (capacity <= 0.0)
+    throw std::invalid_argument("clos_pod: capacity must be > 0");
+  ClosPod cp;
+  cp.tors = tors;
+  cp.spines = spines;
+  cp.graph = Graph(tors + spines);
+  for (std::size_t t = 0; t < tors; ++t)
+    for (std::size_t s = 0; s < spines; ++s)
+      cp.graph.add_link(cp.tor(t), cp.spine(s), capacity);
+  cp.graph.normalize_capacities();
+  return cp;
+}
+
+std::vector<std::vector<Path>> clos_pod_paths(const ClosPod& cp,
+                                              std::size_t per_pair_limit) {
+  if (per_pair_limit == 0)
+    throw std::invalid_argument("clos_pod_paths: per_pair_limit must be >= 1");
+  const Graph& g = cp.graph;
+  const std::size_t n = g.num_nodes();
+  const std::size_t ls = std::min(per_pair_limit, cp.spines);
+  const std::size_t lt = std::min(per_pair_limit, cp.tors);
+
+  std::vector<std::vector<Path>> out(n * n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      std::vector<Path>& paths = out[static_cast<std::size_t>(u) * n + v];
+      const bool u_tor = u < cp.tors;
+      const bool v_tor = v < cp.tors;
+      if (u_tor && v_tor) {
+        for (std::size_t m = 0; m < ls; ++m) {
+          const std::size_t s = (u + v + m) % cp.spines;
+          paths.push_back(make_path(g, {u, cp.spine(s), v}));
+        }
+      } else if (u_tor != v_tor) {
+        paths.push_back(make_path(g, {u, v}));
+      } else {  // spine -> spine: bounce through a leaf
+        for (std::size_t m = 0; m < lt; ++m) {
+          const std::size_t t = (u + v + m) % cp.tors;
+          paths.push_back(make_path(g, {u, cp.tor(t), v}));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace figret::net

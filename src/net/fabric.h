@@ -1,0 +1,88 @@
+// Fabric-scale data-center topologies: the k-ary fat tree and two-tier
+// leaf-spine (Clos PoD) generators behind the ROADMAP's "thousands of nodes"
+// target, plus structural candidate-path enumeration for both.
+//
+// Yen-style k-shortest-path search is quadratic-plus in fabric size; these
+// fabrics are regular enough that the canonical up-down candidate paths can
+// be written down directly, one closed form per (source role, destination
+// role) case. The enumerations below do exactly that, spreading each pair's
+// candidates across distinct aggregation/core (or spine) devices with a
+// deterministic offset pattern so the candidate sets of different pairs do
+// not all converge on the same core. PathSet::build re-validates every
+// emitted path against the graph, which keeps the case analysis honest.
+//
+// Demands live in switch pair space (hosts are abstracted away, as in the
+// paper's ToR-level fabrics): every ordered switch pair gets at least one
+// candidate path, so any DemandMatrix over the graph's nodes is servable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace figret::net {
+
+/// A k-ary fat tree (k even): k pods of k/2 edge + k/2 aggregation switches
+/// and (k/2)^2 cores, 5k^2/4 switches and k^3 arcs total. Core group g holds
+/// the k/2 cores reachable from aggregation switch g of every pod.
+struct FatTree {
+  Graph graph;
+  std::size_t k = 0;
+
+  std::size_t half() const noexcept { return k / 2; }
+  std::size_t num_pods() const noexcept { return k; }
+  std::size_t num_edge_switches() const noexcept { return k * half(); }
+  std::size_t num_agg_switches() const noexcept { return k * half(); }
+  std::size_t num_core_switches() const noexcept { return half() * half(); }
+
+  /// Edge (ToR) switch i of pod p: ids [0, k^2/2).
+  NodeId edge_sw(std::size_t p, std::size_t i) const noexcept {
+    return static_cast<NodeId>(p * half() + i);
+  }
+  /// Aggregation switch a of pod p: ids [k^2/2, k^2).
+  NodeId agg_sw(std::size_t p, std::size_t a) const noexcept {
+    return static_cast<NodeId>(num_edge_switches() + p * half() + a);
+  }
+  /// Core switch j of group g: ids [k^2, k^2 + (k/2)^2).
+  NodeId core_sw(std::size_t g, std::size_t j) const noexcept {
+    return static_cast<NodeId>(num_edge_switches() + num_agg_switches() +
+                               g * half() + j);
+  }
+};
+
+/// Builds the k-ary fat tree. Capacities are Table-1-style (normalized so the
+/// smallest arc is 1): edge-agg links carry `edge_agg_capacity`, agg-core
+/// links `agg_core_capacity`. Requires k even, k >= 2.
+FatTree fat_tree(std::size_t k, double edge_agg_capacity = 1.0,
+                 double agg_core_capacity = 1.0);
+
+/// Canonical up-down candidate paths for every ordered switch pair, in the
+/// n*n layout PathSet::build consumes. At most `per_pair_limit` paths per
+/// pair (pairs with a unique up-down route get that single path).
+std::vector<std::vector<Path>> fat_tree_paths(const FatTree& ft,
+                                              std::size_t per_pair_limit = 4);
+
+/// A two-tier leaf-spine Clos PoD: `tors` leaves fully bipartite to `spines`
+/// spines, tors + spines switches and 2 * tors * spines arcs.
+struct ClosPod {
+  Graph graph;
+  std::size_t tors = 0;
+  std::size_t spines = 0;
+
+  NodeId tor(std::size_t i) const noexcept { return static_cast<NodeId>(i); }
+  NodeId spine(std::size_t s) const noexcept {
+    return static_cast<NodeId>(tors + s);
+  }
+};
+
+/// Builds the leaf-spine PoD; every ToR-spine link carries `capacity`
+/// (normalized afterwards). Requires tors >= 2 and spines >= 1.
+ClosPod clos_pod(std::size_t tors, std::size_t spines, double capacity = 1.0);
+
+/// Candidate paths for every ordered switch pair of a ClosPod (ToR-ToR pairs
+/// spread across up to `per_pair_limit` distinct spines).
+std::vector<std::vector<Path>> clos_pod_paths(const ClosPod& cp,
+                                              std::size_t per_pair_limit = 4);
+
+}  // namespace figret::net

@@ -59,9 +59,11 @@ std::span<const double> Mlp::forward(std::span<const double> x,
   for (std::size_t l = 0; l < layers; ++l) {
     const linalg::Matrix& w = weight_[l];
     auto& pre = ws.pre[l];
-    pre.assign(w.rows(), 0.0);
-    for (std::size_t r = 0; r < w.rows(); ++r)
-      pre[r] = linalg::dot(w.row(r), in) + bias_[l][r];
+    // Same reduction order as the batched matmul_t kernel, so forward_batch
+    // rows stay bit-identical to this path.
+    linalg::matvec_into(w, in, pre);
+    const std::vector<double>& b = bias_[l];
+    for (std::size_t r = 0; r < pre.size(); ++r) pre[r] += b[r];
 
     auto& post = ws.post[l];
     post.resize(pre.size());

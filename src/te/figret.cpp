@@ -49,8 +49,11 @@ void FigretScheme::build_input_into(
     const auto& dm = history[offset + h];
     if (dm.size() != pairs)
       throw std::invalid_argument("FigretScheme: demand size mismatch");
-    for (std::size_t p = 0; p < pairs; ++p)
-      out[h * pairs + p] = dm[p] / input_scale_;
+    // Scatter over active pairs only — the buffer is already zero-filled, so
+    // a sparse snapshot costs O(nnz) here instead of O(n^2).
+    dm.for_each_active([&](std::size_t p, double v) {
+      out[h * pairs + p] = v / input_scale_;
+    });
   }
 }
 
@@ -64,7 +67,7 @@ void FigretScheme::fit(const traffic::TrafficTrace& train) {
   // Input scale: a single global constant so the DNN sees O(1) inputs.
   input_scale_ = 1e-12;
   for (const auto& dm : train.snapshots)
-    for (double v : dm.values()) input_scale_ = std::max(input_scale_, v);
+    input_scale_ = std::max(input_scale_, dm.max_value());
 
   // Robustness weights: per-pair demand variance over the training period
   // (Eq. 8's sigma^2_{D_sd,[1-T]}), divided by the squared demand scale so

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "te/mlu.h"
+
 namespace figret::te {
 
 TeConfig ratios_from_sigmoid(const PathSet& ps, std::span<const double> sig) {
@@ -47,12 +49,8 @@ LossValue figret_loss(const PathSet& ps, const traffic::DemandMatrix& dm,
   const TeConfig r = ratios_from_sigmoid(ps, sig);
 
   // L1: MLU and its bottleneck edge.
-  std::vector<double> load(ps.num_edges(), 0.0);
-  for (std::size_t pid = 0; pid < ps.num_paths(); ++pid) {
-    const double flow = dm[ps.pair_of_path(pid)] * r[pid];
-    if (flow == 0.0) continue;
-    for (net::EdgeId e : ps.path_edges(pid)) load[e] += flow;
-  }
+  std::vector<double> load;
+  edge_loads_into(ps, dm, r, load);
   double mlu = 0.0;
   net::EdgeId argmax_edge = 0;
   for (net::EdgeId e = 0; e < ps.num_edges(); ++e) {

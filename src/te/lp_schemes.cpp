@@ -143,8 +143,8 @@ TeConfig DesensitizationTe::advise(
   // Anticipated matrix: per-pair peak over the window (paper §5.1 (2)).
   traffic::DemandMatrix peak(ps_->num_nodes());
   for (const auto& dm : history)
-    for (std::size_t p = 0; p < peak.size(); ++p)
-      peak[p] = std::max(peak[p], dm[p]);
+    dm.for_each_active(
+        [&](std::size_t p, double v) { peak[p] = std::max(peak[p], v); });
 
   const MluLpResult res =
       solve_mlu_lp(*ps_, peak, &caps_, nullptr, &opt_.solver, &warm_);
@@ -186,8 +186,8 @@ TeConfig FaultAwareDesTe::advise(
     throw std::invalid_argument("FaultAwareDesTe: empty history");
   traffic::DemandMatrix peak(ps_->num_nodes());
   for (const auto& dm : history)
-    for (std::size_t p = 0; p < peak.size(); ++p)
-      peak[p] = std::max(peak[p], dm[p]);
+    dm.for_each_active(
+        [&](std::size_t p, double v) { peak[p] = std::max(peak[p], v); });
 
   const MluLpResult res =
       solve_mlu_lp(*ps_, peak, &caps_, &alive_, &opt_.solver, &warm_);

@@ -1,8 +1,36 @@
 #include "te/mlu.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace figret::te {
+namespace {
+
+void check_shapes(const PathSet& ps, const traffic::DemandMatrix& demand,
+                  const TeConfig& config) {
+  if (config.size() != ps.num_paths())
+    throw std::invalid_argument("edge_loads: config size mismatch");
+  if (demand.size() != ps.num_pairs())
+    throw std::invalid_argument("edge_loads: demand size mismatch");
+}
+
+// The fused inner body: one active pair's contribution to `out`. Path ids of
+// a pair are contiguous and ascending, so driving this by ascending pair
+// visits paths in exactly the global path-id order of the reference kernel.
+inline void accumulate_pair(const PathSet& ps, const TeConfig& config,
+                            std::size_t pair, double d,
+                            std::vector<double>& out) {
+  const std::size_t end = ps.pair_end(pair);
+  for (std::size_t pid = ps.pair_begin(pair); pid < end; ++pid) {
+    const double flow = d * config[pid];
+    if (flow == 0.0) continue;
+    for (net::EdgeId e : ps.path_edges(pid)) out[e] += flow;
+  }
+}
+
+}  // namespace
 
 std::vector<double> edge_loads(const PathSet& ps,
                                const traffic::DemandMatrix& demand,
@@ -14,10 +42,19 @@ std::vector<double> edge_loads(const PathSet& ps,
 
 void edge_loads_into(const PathSet& ps, const traffic::DemandMatrix& demand,
                      const TeConfig& config, std::vector<double>& out) {
-  if (config.size() != ps.num_paths())
-    throw std::invalid_argument("edge_loads: config size mismatch");
-  if (demand.size() != ps.num_pairs())
-    throw std::invalid_argument("edge_loads: demand size mismatch");
+  check_shapes(ps, demand, config);
+  out.assign(ps.num_edges(), 0.0);
+  demand.for_each_active([&](std::size_t pair, double d) {
+    if (d == 0.0) return;
+    accumulate_pair(ps, config, pair, d, out);
+  });
+}
+
+void edge_loads_reference_into(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config,
+                               std::vector<double>& out) {
+  check_shapes(ps, demand, config);
   out.assign(ps.num_edges(), 0.0);
   for (std::size_t pid = 0; pid < ps.num_paths(); ++pid) {
     const double flow = demand[ps.pair_of_path(pid)] * config[pid];
@@ -26,13 +63,51 @@ void edge_loads_into(const PathSet& ps, const traffic::DemandMatrix& demand,
   }
 }
 
+void edge_loads_parallel_into(const PathSet& ps,
+                              const traffic::DemandMatrix& demand,
+                              const TeConfig& config, EdgeLoadScratch& scratch,
+                              std::vector<double>& out, std::size_t chunks,
+                              std::size_t threads) {
+  check_shapes(ps, demand, config);
+  const std::size_t pairs = ps.num_pairs();
+  if (chunks == 0) chunks = threads != 0 ? threads : util::default_threads();
+  chunks = std::clamp<std::size_t>(chunks, 1, std::max<std::size_t>(pairs, 1));
+  scratch.partial.resize(chunks);
+  util::parallel_for(
+      0, chunks,
+      [&](std::size_t c) {
+        auto& buf = scratch.partial[c];
+        buf.assign(ps.num_edges(), 0.0);
+        const std::size_t lo = pairs * c / chunks;
+        const std::size_t hi = pairs * (c + 1) / chunks;
+        demand.for_each_active_in(lo, hi, [&](std::size_t pair, double d) {
+          if (d == 0.0) return;
+          accumulate_pair(ps, config, pair, d, buf);
+        });
+      },
+      threads);
+  // Reduce in chunk order: deterministic for a fixed chunk count regardless
+  // of which thread ran which chunk.
+  out.assign(ps.num_edges(), 0.0);
+  for (const auto& buf : scratch.partial)
+    for (net::EdgeId e = 0; e < out.size(); ++e) out[e] += buf[e];
+}
+
 MluResult max_link_utilization(const PathSet& ps,
                                const traffic::DemandMatrix& demand,
                                const TeConfig& config) {
-  const auto load = edge_loads(ps, demand, config);
+  std::vector<double> load;
+  return max_link_utilization(ps, demand, config, load);
+}
+
+MluResult max_link_utilization(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config,
+                               std::vector<double>& edge_scratch) {
+  edge_loads_into(ps, demand, config, edge_scratch);
   MluResult result;
-  for (net::EdgeId e = 0; e < load.size(); ++e) {
-    const double u = load[e] / ps.edge_capacity(e);
+  for (net::EdgeId e = 0; e < edge_scratch.size(); ++e) {
+    const double u = edge_scratch[e] / ps.edge_capacity(e);
     if (u > result.mlu) {
       result.mlu = u;
       result.argmax_edge = e;
@@ -48,13 +123,7 @@ double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
 
 double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,
            const TeConfig& config, std::vector<double>& edge_scratch) {
-  edge_loads_into(ps, demand, config, edge_scratch);
-  double worst = 0.0;
-  for (net::EdgeId e = 0; e < edge_scratch.size(); ++e) {
-    const double u = edge_scratch[e] / ps.edge_capacity(e);
-    if (u > worst) worst = u;
-  }
-  return worst;
+  return max_link_utilization(ps, demand, config, edge_scratch).mlu;
 }
 
 std::vector<double> path_sensitivities(const PathSet& ps,

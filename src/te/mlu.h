@@ -2,6 +2,14 @@
 //   f_e  = sum over paths p through e of D_{sd(p)} * r_p
 //   MLU  = max_e f_e / c_e                       (the TE objective M(R, D))
 //   S_p  = r_p / C_p                             (path sensitivity)
+//
+// The load kernel is pair-major and demand-driven: it walks only the demand's
+// active pairs (O(nnz) on a sparse fabric snapshot) and then that pair's
+// contiguous path range, instead of testing every global path id. Because
+// paths are stored pair-major in ascending order, the accumulation order —
+// and therefore every bit of the result — matches the historical path-major
+// loop, which survives as edge_loads_reference_into for differential tests
+// and bench baselines.
 #pragma once
 
 #include <vector>
@@ -21,6 +29,30 @@ std::vector<double> edge_loads(const PathSet& ps,
 void edge_loads_into(const PathSet& ps, const traffic::DemandMatrix& demand,
                      const TeConfig& config, std::vector<double>& out);
 
+/// Pre-optimization path-major kernel, kept as the differential-test oracle
+/// and bench baseline. Bit-identical to edge_loads_into.
+void edge_loads_reference_into(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config,
+                               std::vector<double>& out);
+
+/// Reusable per-chunk partial-load buffers for the parallel kernel.
+struct EdgeLoadScratch {
+  std::vector<std::vector<double>> partial;
+};
+
+/// Parallel edge loads: the pair space is split into `chunks` contiguous
+/// ranges accumulated into per-chunk buffers on the util/parallel pool, then
+/// reduced in chunk order. Deterministic for a fixed `chunks` (any thread
+/// count), but NOT bit-identical to the serial kernel or across different
+/// chunk counts — opt in only where a tolerance is acceptable. `chunks == 0`
+/// uses the resolved thread width.
+void edge_loads_parallel_into(const PathSet& ps,
+                              const traffic::DemandMatrix& demand,
+                              const TeConfig& config, EdgeLoadScratch& scratch,
+                              std::vector<double>& out, std::size_t chunks = 0,
+                              std::size_t threads = 0);
+
 struct MluResult {
   double mlu = 0.0;
   net::EdgeId argmax_edge = 0;
@@ -30,6 +62,13 @@ struct MluResult {
 MluResult max_link_utilization(const PathSet& ps,
                                const traffic::DemandMatrix& demand,
                                const TeConfig& config);
+
+/// Scratch-reusing variant: zero steady-state allocations once `edge_scratch`
+/// reaches num_edges capacity.
+MluResult max_link_utilization(const PathSet& ps,
+                               const traffic::DemandMatrix& demand,
+                               const TeConfig& config,
+                               std::vector<double>& edge_scratch);
 
 /// Convenience: just the MLU value.
 double mlu(const PathSet& ps, const traffic::DemandMatrix& demand,

@@ -1,5 +1,6 @@
 #include "te/pathset.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace figret::te {
@@ -34,9 +35,14 @@ PathSet PathSet::build(const net::Graph& graph,
       ps.path_pair_.push_back(static_cast<std::uint32_t>(pr));
       ps.path_capacity_.push_back(net::path_capacity(graph, p));
       for (net::EdgeId e : p.edges) ps.edge_list_.push_back(e);
-      ps.edge_offset_.push_back(ps.edge_list_.size());
+      if (ps.edge_list_.size() > std::numeric_limits<std::uint32_t>::max())
+        throw std::length_error("PathSet::build: > 2^32 path-edge entries");
+      ps.edge_offset_.push_back(
+          static_cast<std::uint32_t>(ps.edge_list_.size()));
     }
-    ps.pair_offset_[pr + 1] = ps.paths_.size();
+    if (ps.paths_.size() > std::numeric_limits<std::uint32_t>::max())
+      throw std::length_error("PathSet::build: > 2^32 paths");
+    ps.pair_offset_[pr + 1] = static_cast<std::uint32_t>(ps.paths_.size());
   }
 
   // Reverse incidence (edge -> paths) for fast per-edge load queries.
@@ -44,7 +50,8 @@ PathSet PathSet::build(const net::Graph& graph,
   for (net::EdgeId e : ps.edge_list_) ++counts[e];
   ps.rev_offset_.assign(graph.num_edges() + 1, 0);
   for (std::size_t e = 0; e < graph.num_edges(); ++e)
-    ps.rev_offset_[e + 1] = ps.rev_offset_[e] + counts[e];
+    ps.rev_offset_[e + 1] =
+        ps.rev_offset_[e] + static_cast<std::uint32_t>(counts[e]);
   ps.rev_list_.resize(ps.edge_list_.size());
   std::vector<std::size_t> cursor(ps.rev_offset_.begin(),
                                   ps.rev_offset_.end() - 1);

@@ -64,13 +64,15 @@ class PathSet {
  private:
   std::size_t num_nodes_ = 0;
   std::vector<net::Path> paths_;
-  std::vector<std::size_t> pair_offset_;
+  // Offsets are uint32 (≈ half the footprint of size_t vectors): fabric-scale
+  // sets stay well under 4G paths / path-edge entries, and build() checks.
+  std::vector<std::uint32_t> pair_offset_;
   std::vector<std::uint32_t> path_pair_;
-  std::vector<std::size_t> edge_offset_;
+  std::vector<std::uint32_t> edge_offset_;
   std::vector<net::EdgeId> edge_list_;
   std::vector<double> path_capacity_;
   std::vector<double> capacity_;
-  std::vector<std::size_t> rev_offset_;
+  std::vector<std::uint32_t> rev_offset_;
   std::vector<std::uint32_t> rev_list_;
 };
 

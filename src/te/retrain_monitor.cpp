@@ -32,8 +32,7 @@ void RetrainMonitor::observe(const traffic::DemandMatrix& demand,
   if (!reference_.empty()) {
     double best = 0.0;
     for (const auto& ref : reference_)
-      best = std::max(best,
-                      util::cosine_similarity(demand.values(), ref.values()));
+      best = std::max(best, traffic::cosine_similarity(demand, ref));
     drifted = best < policy_.similarity_threshold;
   }
   drift_window_.push_back(drifted);

@@ -23,7 +23,7 @@ void TealLikeTe::fit(const traffic::TrafficTrace& train) {
 
   input_scale_ = 1e-12;
   for (const auto& dm : train.snapshots)
-    for (double v : dm.values()) input_scale_ = std::max(input_scale_, v);
+    input_scale_ = std::max(input_scale_, dm.max_value());
 
   nn::MlpConfig mcfg;
   mcfg.layer_sizes.push_back(pairs);
@@ -51,7 +51,9 @@ void TealLikeTe::fit(const traffic::TrafficTrace& train) {
     grads.zero();
     for (std::size_t k = 0; k < train.size(); ++k) {
       const auto& dm = train[perm[k]];
-      for (std::size_t p = 0; p < pairs; ++p) x[p] = dm[p] / input_scale_;
+      std::fill(x.begin(), x.end(), 0.0);
+      dm.for_each_active(
+          [&](std::size_t p, double v) { x[p] = v / input_scale_; });
       const auto sig = model_->forward(x, ws_);
       // Input demand == target demand: the config is tailored to what the
       // scheme has just seen.
@@ -75,8 +77,8 @@ TeConfig TealLikeTe::advise(
     throw std::invalid_argument("TealLikeTe: empty history");
   const std::size_t pairs = ps_->num_pairs();
   std::vector<double> x(pairs, 0.0);
-  for (std::size_t p = 0; p < pairs; ++p)
-    x[p] = history.back()[p] / input_scale_;
+  history.back().for_each_active(
+      [&](std::size_t p, double v) { x[p] = v / input_scale_; });
   const auto sig = model_->forward(x, ws_);
   return ratios_from_sigmoid(*ps_, sig);
 }

@@ -1,9 +1,21 @@
 #include "traffic/demand.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace figret::traffic {
+namespace {
+
+[[noreturn]] void require_dense_failed(const char* what) {
+  throw std::logic_error(std::string(what) +
+                         ": dense access on a sparse DemandMatrix; use "
+                         "for_each_active or densified()");
+}
+
+}  // namespace
 
 DemandMatrix::DemandMatrix(std::size_t n, std::vector<double> values)
     : n_(n), values_(std::move(values)) {
@@ -11,10 +23,163 @@ DemandMatrix::DemandMatrix(std::size_t n, std::vector<double> values)
     throw std::invalid_argument("DemandMatrix: value count != n*(n-1)");
 }
 
+DemandMatrix DemandMatrix::sparse(std::size_t n,
+                                  std::vector<std::uint32_t> pairs,
+                                  std::vector<double> values) {
+  if (pairs.size() != values.size())
+    throw std::invalid_argument("DemandMatrix::sparse: key/value size mismatch");
+  const std::size_t logical = num_pairs(n);
+  for (const std::uint32_t p : pairs)
+    if (p >= logical)
+      throw std::invalid_argument("DemandMatrix::sparse: pair out of range");
+
+  // Sort by pair via an index permutation, then sum duplicates / drop zeros.
+  std::vector<std::uint32_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return pairs[a] != pairs[b] ? pairs[a] < pairs[b] : a < b;
+            });
+
+  DemandMatrix m;
+  m.n_ = n;
+  m.sparse_ = true;
+  m.values_.clear();
+  m.keys_.reserve(pairs.size());
+  m.values_.reserve(pairs.size());
+  for (const std::uint32_t i : order) {
+    const std::uint32_t key = pairs[i];
+    if (!m.keys_.empty() && m.keys_.back() == key) {
+      m.values_.back() += values[i];
+    } else {
+      m.keys_.push_back(key);
+      m.values_.push_back(values[i]);
+    }
+  }
+  // Drop exact zeros (including duplicate groups that cancelled).
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < m.keys_.size(); ++r) {
+    if (m.values_[r] == 0.0) continue;
+    m.keys_[w] = m.keys_[r];
+    m.values_[w] = m.values_[r];
+    ++w;
+  }
+  m.keys_.resize(w);
+  m.values_.resize(w);
+  return m;
+}
+
+std::size_t DemandMatrix::nnz() const noexcept {
+  if (sparse_) return values_.size();
+  std::size_t c = 0;
+  for (double v : values_) c += v != 0.0;
+  return c;
+}
+
+double DemandMatrix::density() const noexcept {
+  const std::size_t logical = size();
+  return logical == 0 ? 0.0
+                      : static_cast<double>(nnz()) /
+                            static_cast<double>(logical);
+}
+
+void DemandMatrix::set(std::size_t s, std::size_t d, double v) {
+  if (sparse_) require_dense_failed("DemandMatrix::set");
+  values_[pair_index(n_, s, d)] = v;
+}
+
+std::size_t DemandMatrix::lower_key(std::size_t pair) const noexcept {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(),
+                                   static_cast<std::uint32_t>(pair));
+  return static_cast<std::size_t>(it - keys_.begin());
+}
+
+double DemandMatrix::operator[](std::size_t pair) const noexcept {
+  if (!sparse_) return values_[pair];
+  const std::size_t i = lower_key(pair);
+  if (i == keys_.size() || keys_[i] != pair) return 0.0;
+  return values_[i];
+}
+
+double& DemandMatrix::operator[](std::size_t pair) {
+  if (sparse_) require_dense_failed("DemandMatrix::operator[]");
+  return values_[pair];
+}
+
+std::span<const double> DemandMatrix::values() const {
+  if (sparse_) require_dense_failed("DemandMatrix::values");
+  return values_;
+}
+
+std::span<double> DemandMatrix::values() {
+  if (sparse_) require_dense_failed("DemandMatrix::values");
+  return values_;
+}
+
 double DemandMatrix::total() const noexcept {
   double acc = 0.0;
   for (double v : values_) acc += v;
   return acc;
+}
+
+double DemandMatrix::max_value() const noexcept {
+  double acc = 0.0;
+  for (double v : values_) acc = std::max(acc, v);
+  return acc;
+}
+
+DemandMatrix DemandMatrix::densified() const {
+  if (!sparse_) return *this;
+  DemandMatrix m(n_);
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    m.values_[keys_[i]] = values_[i];
+  return m;
+}
+
+DemandMatrix DemandMatrix::sparsified() const {
+  if (sparse_) return *this;
+  DemandMatrix m;
+  m.n_ = n_;
+  m.sparse_ = true;
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    if (values_[p] == 0.0) continue;
+    m.keys_.push_back(static_cast<std::uint32_t>(p));
+    m.values_.push_back(values_[p]);
+  }
+  return m;
+}
+
+DemandMatrix DemandMatrix::compacted(double max_density) const {
+  return density() <= max_density ? sparsified() : densified();
+}
+
+double dot(const DemandMatrix& a, const DemandMatrix& b) {
+  if (a.num_nodes() != b.num_nodes())
+    throw std::invalid_argument("traffic::dot: node count mismatch");
+  if (a.is_sparse() && b.is_sparse() && a.stored() > b.stored())
+    return dot(b, a);  // iterate the sparser side
+  double acc = 0.0;
+  if (a.is_sparse() || !b.is_sparse()) {
+    // a's stored entries cover all of a's nonzeros; b answers point reads on
+    // either form, O(1) here because b is dense (or a is the sparser side).
+    a.for_each_active([&](std::size_t p, double v) { acc += v * b[p]; });
+  } else {
+    b.for_each_active([&](std::size_t p, double v) { acc += v * a[p]; });
+  }
+  return acc;
+}
+
+double norm(const DemandMatrix& a) noexcept {
+  double acc = 0.0;
+  a.for_each_active([&](std::size_t, double v) { acc += v * v; });
+  return std::sqrt(acc);
+}
+
+double cosine_similarity(const DemandMatrix& a, const DemandMatrix& b) {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
 }
 
 std::pair<TrafficTrace, TrafficTrace> TrafficTrace::split(

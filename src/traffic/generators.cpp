@@ -177,6 +177,64 @@ double web_search_flow_size_kb(util::Rng& rng) {
   return kSizeKb[std::size(kSizeKb) - 1];
 }
 
+TrafficTrace fabric_trace(std::size_t n, std::size_t length,
+                          std::uint64_t seed, const FabricOptions& opt) {
+  if (n < 2) throw std::invalid_argument("fabric_trace: need >= 2 nodes");
+  if (opt.active_fraction <= 0.0 || opt.active_fraction > 1.0)
+    throw std::invalid_argument("fabric_trace: active_fraction in (0, 1]");
+  util::Rng rng(seed);
+  const std::size_t pairs = num_pairs(n);
+  const std::size_t active = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opt.active_fraction *
+                                  static_cast<double>(pairs)));
+
+  // Hot set: active pair ids + base rates, membership tracked for O(1)
+  // resampling. Churn replaces a few members per snapshot so consecutive
+  // snapshots stay correlated (history remains informative).
+  std::vector<std::uint32_t> hot;
+  std::vector<double> rate;
+  std::vector<char> member(pairs, 0);
+  const auto sample_pair = [&]() {
+    for (;;) {
+      const auto p = static_cast<std::uint32_t>(rng.uniform_index(pairs));
+      if (!member[p]) return p;
+    }
+  };
+  for (std::size_t i = 0; i < active; ++i) {
+    const std::uint32_t p = sample_pair();
+    member[p] = 1;
+    hot.push_back(p);
+    rate.push_back(rng.lognormal(0.0, opt.mass_sigma));
+  }
+  const std::size_t churn = static_cast<std::size_t>(
+      opt.churn * static_cast<double>(active));
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  std::vector<std::uint32_t> keys(active);
+  std::vector<double> vals(active);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t c = 0; c < churn; ++c) {
+      const std::size_t slot = rng.uniform_index(active);
+      member[hot[slot]] = 0;
+      hot[slot] = sample_pair();
+      member[hot[slot]] = 1;
+      rate[slot] = rng.lognormal(0.0, opt.mass_sigma);
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < active; ++i) {
+      keys[i] = hot[i];
+      vals[i] = rate[i] * rng.lognormal(0.0, opt.noise_sigma);
+      total += vals[i];
+    }
+    const double scale = total > 0.0 ? opt.total_volume / total : 1.0;
+    for (double& v : vals) v *= scale;
+    trace.snapshots.push_back(DemandMatrix::sparse(n, keys, vals));
+  }
+  return trace;
+}
+
 TrafficTrace pfabric_trace(std::size_t n, std::size_t length,
                            std::uint64_t seed, const PfabricOptions& opt) {
   if (n < 2) throw std::invalid_argument("pfabric_trace: need >= 2 nodes");

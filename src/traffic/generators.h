@@ -84,6 +84,25 @@ TrafficTrace dc_pod_trace(std::size_t n_pods, std::size_t tors_per_pod,
                           std::size_t length, std::uint64_t seed,
                           const DcOptions& = {});
 
+struct FabricOptions {
+  /// Fraction of the n*(n-1) ordered pairs active in a snapshot (fat-tree
+  /// fabrics touch well under 1% at any instant).
+  double active_fraction = 0.01;
+  /// Fraction of the active set resampled each snapshot (hotset churn).
+  double churn = 0.05;
+  /// Lognormal sigma of per-pair base rates (elephant/mice skew).
+  double mass_sigma = 1.0;
+  /// Per-snapshot multiplicative jitter sigma (lognormal, mean ~1).
+  double noise_sigma = 0.25;
+  double total_volume = 1.0;
+};
+
+/// Fabric-scale sparse traffic: a slowly churning hot set of active pairs
+/// with heavy-tailed rates. Snapshots are *sparse* DemandMatrix instances
+/// (nnz == active pair count), exercising the O(nnz) demand pipeline.
+TrafficTrace fabric_trace(std::size_t n, std::size_t length,
+                          std::uint64_t seed, const FabricOptions& = {});
+
 struct PfabricOptions {
   /// Mean flow arrivals per snapshot interval.
   double flows_per_interval = 600.0;

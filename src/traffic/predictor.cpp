@@ -28,7 +28,7 @@ DemandMatrix MovingAveragePredictor::predict(
   DemandMatrix out(history.front().num_nodes());
   const double inv = 1.0 / static_cast<double>(history.size());
   for (const auto& dm : history)
-    for (std::size_t p = 0; p < out.size(); ++p) out[p] += dm[p] * inv;
+    dm.for_each_active([&](std::size_t p, double v) { out[p] += v * inv; });
   return out;
 }
 
@@ -39,10 +39,14 @@ EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
 
 DemandMatrix EwmaPredictor::predict(std::span<const DemandMatrix> history) {
   check_history(history);
-  DemandMatrix state = history.front();
-  for (std::size_t t = 1; t < history.size(); ++t)
-    for (std::size_t p = 0; p < state.size(); ++p)
-      state[p] = alpha_ * history[t][p] + (1.0 - alpha_) * state[p];
+  DemandMatrix state = history.front().densified();
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    // Decay everything, then add the active pairs: alpha*h + (1-alpha)*s with
+    // the same rounding as the fused per-pair update (+ commutes exactly).
+    for (std::size_t p = 0; p < state.size(); ++p) state[p] *= 1.0 - alpha_;
+    history[t].for_each_active(
+        [&](std::size_t p, double v) { state[p] += alpha_ * v; });
+  }
   return state;
 }
 
@@ -76,8 +80,8 @@ DemandMatrix PeakPredictor::predict(std::span<const DemandMatrix> history) {
   check_history(history);
   DemandMatrix out(history.front().num_nodes());
   for (const auto& dm : history)
-    for (std::size_t p = 0; p < out.size(); ++p)
-      out[p] = std::max(out[p], dm[p]);
+    dm.for_each_active(
+        [&](std::size_t p, double v) { out[p] = std::max(out[p], v); });
   return out;
 }
 

@@ -32,10 +32,8 @@ std::vector<double> window_max_cosine(const TrafficTrace& trace,
   out.reserve(trace.size() - window);
   for (std::size_t t = window; t < trace.size(); ++t) {
     double best = 0.0;
-    for (std::size_t h = t - window; h < t; ++h) {
-      best = std::max(best, util::cosine_similarity(trace[t].values(),
-                                                    trace[h].values()));
-    }
+    for (std::size_t h = t - window; h < t; ++h)
+      best = std::max(best, cosine_similarity(trace[t], trace[h]));
     out.push_back(best);
   }
   return out;

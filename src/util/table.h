@@ -30,6 +30,13 @@ class Table {
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Content accessors for mirroring printed tables into other formats
+  /// (the benches' BENCH_*.json artifacts are built from these).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

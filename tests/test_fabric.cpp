@@ -1,0 +1,139 @@
+// Fat-tree / Clos generator invariants: switch and arc counts, bisection
+// capacity, strong connectivity, and the structural path enumerations (every
+// path re-validated by PathSet::build, every pair covered, per-pair limits
+// respected).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/fabric.h"
+#include "te/mlu.h"
+#include "te/pathset.h"
+#include "traffic/generators.h"
+
+namespace figret {
+namespace {
+
+TEST(FatTree, CountsMatchClosedForms) {
+  for (std::size_t k : {2u, 4u, 6u, 8u}) {
+    const net::FatTree ft = net::fat_tree(k);
+    const std::size_t h = k / 2;
+    // 5k^2/4 switches: k^2/2 edge, k^2/2 agg, (k/2)^2 core.
+    EXPECT_EQ(ft.graph.num_nodes(), k * k + h * h) << "k=" << k;
+    // k^3/2 undirected links (k^3/4 edge-agg + k^3/4 agg-core) -> k^3 arcs.
+    EXPECT_EQ(ft.graph.num_edges(), k * k * k) << "k=" << k;
+    EXPECT_TRUE(ft.graph.strongly_connected()) << "k=" << k;
+  }
+}
+
+TEST(FatTree, RejectsBadParameters) {
+  EXPECT_THROW(net::fat_tree(0), std::invalid_argument);
+  EXPECT_THROW(net::fat_tree(3), std::invalid_argument);
+  EXPECT_THROW(net::fat_tree(4, 0.0), std::invalid_argument);
+}
+
+TEST(FatTree, BisectionCapacityMatchesCoreLayer) {
+  // Full bisection: the core layer carries (k/2)^2 cores x k pods arcs in
+  // each direction; with unit capacities the aggregate up-capacity into the
+  // core is k^3/4.
+  const std::size_t k = 8;
+  const net::FatTree ft = net::fat_tree(k);
+  double core_up = 0.0;
+  const std::size_t aggs_end = ft.num_edge_switches() + ft.num_agg_switches();
+  for (const net::Edge& e : ft.graph.edges())
+    if (e.dst >= aggs_end && e.src < aggs_end) core_up += e.capacity;
+  EXPECT_DOUBLE_EQ(core_up, static_cast<double>(k * k * k) / 4.0);
+}
+
+TEST(FatTree, CapacitiesAreNormalizedTable1Style) {
+  const net::FatTree ft = net::fat_tree(4, 1.0, 4.0);
+  EXPECT_DOUBLE_EQ(ft.graph.min_capacity(), 1.0);
+  // Oversubscription ratio preserved by normalization.
+  const net::EdgeId up = ft.graph.find_edge(ft.agg_sw(0, 0), ft.core_sw(0, 0));
+  ASSERT_LT(up, ft.graph.num_edges());
+  EXPECT_DOUBLE_EQ(ft.graph.edge(up).capacity, 4.0);
+}
+
+TEST(FatTree, StructuralPathsBuildAValidPathSet) {
+  for (std::size_t k : {2u, 4u, 6u}) {
+    const net::FatTree ft = net::fat_tree(k);
+    const std::size_t limit = 4;
+    // PathSet::build revalidates every path (simple, arcs exist, endpoints
+    // match) and throws if any pair has no candidates — the safety net that
+    // keeps the 9-case enumeration honest.
+    const te::PathSet ps =
+        te::PathSet::build(ft.graph, net::fat_tree_paths(ft, limit));
+    EXPECT_EQ(ps.num_pairs(),
+              ft.graph.num_nodes() * (ft.graph.num_nodes() - 1));
+    for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+      EXPECT_GE(ps.pair_size(pr), 1u);
+      EXPECT_LE(ps.pair_size(pr), limit);
+    }
+  }
+}
+
+TEST(FatTree, InterPodPathsSpreadAcrossDistinctCores) {
+  const net::FatTree ft = net::fat_tree(8);
+  const auto per_pair = net::fat_tree_paths(ft, 4);
+  const std::size_t n = ft.graph.num_nodes();
+  // Edge switch 0 of pod 0 -> edge switch 0 of pod 1: 4 paths, all 4 hops,
+  // pairwise distinct core switches.
+  const auto& paths =
+      per_pair[static_cast<std::size_t>(ft.edge_sw(0, 0)) * n +
+               ft.edge_sw(1, 0)];
+  ASSERT_EQ(paths.size(), 4u);
+  std::vector<net::NodeId> cores;
+  for (const net::Path& p : paths) {
+    ASSERT_EQ(p.hops(), 4u);
+    cores.push_back(p.nodes[2]);  // e - agg - core - agg - e
+  }
+  for (std::size_t a = 0; a < cores.size(); ++a)
+    for (std::size_t b = a + 1; b < cores.size(); ++b)
+      EXPECT_NE(cores[a], cores[b]);
+}
+
+TEST(FatTree, UniformSplitKeepsFabricTrafficFeasible) {
+  // End-to-end smoke across the sparse pipeline: sparse fabric trace scored
+  // on the fat-tree path set with equal splits produces finite loads.
+  const net::FatTree ft = net::fat_tree(4);
+  const te::PathSet ps =
+      te::PathSet::build(ft.graph, net::fat_tree_paths(ft, 4));
+  const auto trace =
+      traffic::fabric_trace(ft.graph.num_nodes(), 4, 17, {.active_fraction = 0.05});
+  const auto cfg = te::uniform_config(ps);
+  std::vector<double> loads;
+  for (const auto& dm : trace.snapshots) {
+    ASSERT_TRUE(dm.is_sparse());
+    const double m = te::mlu(ps, dm, cfg, loads);
+    EXPECT_GT(m, 0.0);
+    EXPECT_TRUE(std::isfinite(m));
+  }
+}
+
+TEST(ClosPod, CountsAndConnectivity) {
+  const net::ClosPod cp = net::clos_pod(12, 4);
+  EXPECT_EQ(cp.graph.num_nodes(), 16u);
+  EXPECT_EQ(cp.graph.num_edges(), 2u * 12u * 4u);
+  EXPECT_TRUE(cp.graph.strongly_connected());
+  EXPECT_DOUBLE_EQ(cp.graph.min_capacity(), 1.0);
+  EXPECT_THROW(net::clos_pod(1, 4), std::invalid_argument);
+  EXPECT_THROW(net::clos_pod(4, 0), std::invalid_argument);
+}
+
+TEST(ClosPod, PathsBuildAndSpreadAcrossSpines) {
+  const net::ClosPod cp = net::clos_pod(6, 4);
+  const auto per_pair = net::clos_pod_paths(cp, 3);
+  const te::PathSet ps = te::PathSet::build(cp.graph, per_pair);
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr)
+    EXPECT_GE(ps.pair_size(pr), 1u);
+  const std::size_t n = cp.graph.num_nodes();
+  const auto& tor_paths =
+      per_pair[static_cast<std::size_t>(cp.tor(0)) * n + cp.tor(1)];
+  ASSERT_EQ(tor_paths.size(), 3u);
+  EXPECT_NE(tor_paths[0].nodes[1], tor_paths[1].nodes[1]);
+  EXPECT_NE(tor_paths[1].nodes[1], tor_paths[2].nodes[1]);
+}
+
+}  // namespace
+}  // namespace figret
