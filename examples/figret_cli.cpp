@@ -9,7 +9,9 @@
 //
 // Schemes: figret, dote, teal, des, pred, heuristic, twostage, oblivious,
 // cope. Topologies: geant, mesh, tor (random regular), wan (sparse).
-// Traffic: wan, gravity, tor, pod, pfabric.
+// Traffic: wan, gravity, tor, pod, pfabric, plus the adversarial/jitter
+// scenario suite: jitter, onoff, competitor, mixed, adversarial (a regret-
+// maximizing attack sequence tiled over the test split).
 //
 // The `serve` subcommand replays the test split of the trace through the
 // streaming serving loop (paced arrivals, worker pipeline, SLO accounting)
@@ -35,8 +37,10 @@
 #include "te/serving_loop.h"
 #include "te/teal_like.h"
 #include "te/two_stage.h"
+#include "traffic/adversary.h"
 #include "traffic/feed.h"
 #include "traffic/generators.h"
+#include "traffic/scenarios.h"
 #include "util/args.h"
 #include "util/json.h"
 #include "util/parallel.h"
@@ -51,7 +55,9 @@ void print_usage(std::ostream& os) {
       "figret_cli — FIGRET traffic engineering playground\n\n"
       "  --topology  geant | mesh | tor | wan      (default geant)\n"
       "  --nodes     N (mesh/tor/wan sizes)        (default 8/16/30)\n"
-      "  --traffic   wan | gravity | tor | pod | pfabric (default matches topology)\n"
+      "  --traffic   wan | gravity | tor | pod | pfabric |\n"
+      "              jitter | onoff | competitor | mixed | adversarial\n"
+      "                                            (default matches topology)\n"
       "  --snapshots T                             (default 240)\n"
       "  --scheme    figret | dote | teal | des | pred | heuristic |\n"
       "              twostage | oblivious | cope   (default figret)\n"
@@ -163,7 +169,9 @@ net::Graph make_graph(const util::Args& args) {
   throw UsageError("unknown --topology " + topo);
 }
 
-traffic::TrafficTrace make_traffic(const util::Args& args, std::size_t nodes) {
+traffic::TrafficTrace make_traffic(const util::Args& args,
+                                   const te::PathSet& paths) {
+  const std::size_t nodes = paths.num_nodes();
   const std::string topo = args.get_or("topology", "geant");
   const std::string kind =
       args.get_or("traffic", topo == "geant" || topo == "wan" ? "wan" : "tor");
@@ -174,6 +182,36 @@ traffic::TrafficTrace make_traffic(const util::Args& args, std::size_t nodes) {
   if (kind == "tor") return traffic::dc_tor_trace(nodes, len, seed);
   if (kind == "pod") return traffic::dc_pod_trace(nodes, 4, len, seed);
   if (kind == "pfabric") return traffic::pfabric_trace(nodes, len, seed);
+  if (kind == "jitter") return traffic::jitter_spike_trace(nodes, len, seed);
+  if (kind == "onoff") return traffic::onoff_trace(nodes, len, seed);
+  if (kind == "competitor")
+    return traffic::competitor_trace(nodes, len, seed);
+  if (kind == "mixed")
+    return traffic::mixed_interactive_bulk_trace(nodes, len, seed);
+  if (kind == "adversarial") {
+    // A WAN base trace fills the training prefix and primes histories; the
+    // regret adversary attacks a prediction-TE victim and its sequence is
+    // tiled over the held-out last quarter (the 0.75 split both modes use).
+    traffic::TrafficTrace trace = traffic::wan_trace(nodes, len, seed);
+    const std::size_t cut = len * 3 / 4;
+    te::PredictionTe victim(paths);
+    const std::size_t window =
+        std::max<std::size_t>(1, victim.history_window());
+    if (cut < window || cut >= len)
+      throw UsageError("--traffic adversarial needs more --snapshots");
+    traffic::AdversaryOptions aopt;
+    aopt.steps = 4;
+    aopt.iterations = 24;
+    aopt.oracle_seeds = 3;
+    aopt.seed = seed;
+    traffic::RegretAdversary adversary(paths, aopt);
+    const std::span<const traffic::DemandMatrix> hist{
+        trace.snapshots.data() + (cut - window), window};
+    const traffic::AdversaryResult att = adversary.attack(victim, hist);
+    for (std::size_t t = cut; t < len; ++t)
+      trace.snapshots[t] = att.trace.snapshots[(t - cut) % att.trace.size()];
+    return trace;
+  }
   throw UsageError("unknown --traffic " + kind);
 }
 
@@ -200,7 +238,7 @@ int run_serve(const util::Args& args) {
                             ? net::racke_style_paths(graph, {})
                             : net::all_pairs_k_shortest(graph, 3);
   const te::PathSet paths = te::PathSet::build(graph, per_pair);
-  const traffic::TrafficTrace trace = make_traffic(args, graph.num_nodes());
+  const traffic::TrafficTrace trace = make_traffic(args, paths);
 
   std::size_t workers = flag_size(args, "workers", 2);
   if (workers == 0) workers = util::default_threads();
@@ -387,7 +425,7 @@ int main(int argc, char** argv) {
             ? net::racke_style_paths(graph, {})
             : net::all_pairs_k_shortest(graph, 3);
     const te::PathSet paths = te::PathSet::build(graph, per_pair);
-    const traffic::TrafficTrace trace = make_traffic(args, graph.num_nodes());
+    const traffic::TrafficTrace trace = make_traffic(args, paths);
 
     std::cout << "topology: " << graph.num_nodes() << " nodes / "
               << graph.num_edges() << " arcs; " << paths.num_paths()

@@ -1,0 +1,228 @@
+#include "traffic/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "lp/warm_start.h"
+#include "te/lp_schemes.h"
+#include "te/mlu.h"
+#include "util/rng.h"
+
+namespace figret::traffic {
+namespace {
+
+/// Sparse working form of a candidate: unsorted support lists, canonicalized
+/// through DemandMatrix::sparse (sorts, merges duplicates, drops zeros).
+struct Support {
+  std::vector<std::uint32_t> keys;
+  std::vector<double> vals;
+};
+
+Support support_of(const DemandMatrix& dm) {
+  Support s;
+  dm.for_each_active([&](std::size_t p, double v) {
+    if (v > 0.0) {
+      s.keys.push_back(static_cast<std::uint32_t>(p));
+      s.vals.push_back(v);
+    }
+  });
+  return s;
+}
+
+/// Per-node egress/ingress totals of a demand, via the active entries only.
+void hose_usage(const DemandMatrix& dm, std::vector<double>& out,
+                std::vector<double>& in) {
+  const std::size_t n = dm.num_nodes();
+  out.assign(n, 0.0);
+  in.assign(n, 0.0);
+  dm.for_each_active([&](std::size_t p, double v) {
+    const auto [s, d] = pair_nodes(n, p);
+    out[s] += v;
+    in[d] += v;
+  });
+}
+
+}  // namespace
+
+RegretAdversary::RegretAdversary(const te::PathSet& ps,
+                                 const AdversaryOptions& opt)
+    : ps_(&ps), opt_(opt), hose_(te::hose_bounds(ps, opt.hose_scale)) {
+  if (opt_.steps < 1)
+    throw std::invalid_argument("RegretAdversary: steps >= 1");
+  if (opt_.iterations < 1)
+    throw std::invalid_argument("RegretAdversary: iterations >= 1");
+  if (opt_.coords < 1)
+    throw std::invalid_argument("RegretAdversary: coords >= 1");
+  if (opt_.hose_scale <= 0.0)
+    throw std::invalid_argument("RegretAdversary: hose_scale > 0");
+}
+
+bool RegretAdversary::feasible(const DemandMatrix& dm, double tol) const {
+  if (dm.num_nodes() != ps_->num_nodes()) return false;
+  std::vector<double> out, in;
+  hose_usage(dm, out, in);
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    if (out[v] > hose_.out[v] * (1.0 + tol) + 1e-12) return false;
+    if (in[v] > hose_.in[v] * (1.0 + tol) + 1e-12) return false;
+  }
+  return true;
+}
+
+DemandMatrix RegretAdversary::project(const DemandMatrix& dm) const {
+  std::vector<double> out, in;
+  hose_usage(dm, out, in);
+  double factor = 1.0;
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    if (out[v] > 0.0) factor = std::min(factor, hose_.out[v] / out[v]);
+    if (in[v] > 0.0) factor = std::min(factor, hose_.in[v] / in[v]);
+  }
+  Support s = support_of(dm);
+  for (double& v : s.vals) v *= factor;
+  return DemandMatrix::sparse(dm.num_nodes(), std::move(s.keys),
+                              std::move(s.vals));
+}
+
+double RegretAdversary::regret(const te::TeConfig& config,
+                               const DemandMatrix& demand) const {
+  const double scheme_mlu = te::mlu(*ps_, demand, config);
+  const te::MluLpResult opt =
+      te::solve_mlu_lp(*ps_, demand, nullptr, nullptr, &opt_.solver);
+  if (!opt.optimal())
+    throw std::runtime_error(
+        std::string("RegretAdversary::regret: omniscient LP status: ") +
+        lp::to_string(opt.status));
+  if (opt.mlu <= 1e-12) return 0.0;
+  return scheme_mlu / opt.mlu;
+}
+
+AdversaryResult RegretAdversary::attack(
+    te::TeScheme& scheme, std::span<const DemandMatrix> history,
+    std::span<const DemandMatrix> extra_seeds) {
+  const std::size_t window = std::max<std::size_t>(1, scheme.history_window());
+  if (history.size() < window)
+    throw std::invalid_argument(
+        "RegretAdversary::attack: history shorter than the victim's window");
+  const std::size_t n = ps_->num_nodes();
+  const std::size_t pairs = ps_->num_pairs();
+
+  util::Rng rng(opt_.seed);
+  lp::WarmStart warm;  // omniscient solves chain across candidates
+  AdversaryResult result;
+  result.trace.num_nodes = n;
+
+  std::vector<DemandMatrix> hist(history.begin(), history.end());
+  std::vector<double> edge_scratch;  // reused MLU scratch
+  std::vector<double> score;         // oracle edge ranking scratch
+
+  for (std::size_t step = 0; step < opt_.steps; ++step) {
+    // The victim commits its configuration from the (adversarial) history.
+    const te::TeConfig cfg =
+        scheme.advise({hist.data() + (hist.size() - window), window});
+
+    double best_regret = 0.0;
+    DemandMatrix best;
+    std::size_t budget = opt_.iterations;
+    std::uint32_t iteration = 0;
+
+    // Evaluates one candidate: project (uniform shrink — regret-neutral),
+    // score, record, accept on strict improvement (monotone best-so-far).
+    const auto consider = [&](const DemandMatrix& raw) {
+      if (budget == 0) return;
+      --budget;
+      DemandMatrix cand = project(raw);
+      double r = 0.0;
+      if (cand.nnz() > 0) {
+        const double scheme_mlu = te::mlu(*ps_, cand, cfg, edge_scratch);
+        const te::MluLpResult opt = te::solve_mlu_lp(
+            *ps_, cand, nullptr, nullptr, &opt_.solver, &warm);
+        if (!opt.optimal())
+          throw std::runtime_error(
+              std::string("RegretAdversary::attack: omniscient LP status: ") +
+              lp::to_string(opt.status));
+        ++result.lp_solves;
+        if (opt.mlu > 1e-12) r = scheme_mlu / opt.mlu;
+      }
+      const bool accepted = r > best_regret;
+      if (accepted) {
+        best_regret = r;
+        best = cand;
+      }
+      result.search.push_back({static_cast<std::uint32_t>(step), iteration++,
+                               r, best_regret, accepted});
+      if (opt_.record_candidates) result.candidates.push_back(std::move(cand));
+    };
+
+    // Seeds: the latest history demand, caller-provided seeds (step 0), and
+    // the worst-edge LP oracle on the edges carrying the most configured
+    // path mass per unit capacity — the te/hose adversary generalized from
+    // one edge to a ranked scan.
+    consider(hist.back());
+    if (step == 0)
+      for (const DemandMatrix& seed : extra_seeds) consider(seed);
+    if (opt_.oracle_seeds > 0 && budget > 0) {
+      score.assign(ps_->num_edges(), 0.0);
+      for (net::EdgeId e = 0; e < ps_->num_edges(); ++e) {
+        double mass = 0.0;
+        for (std::uint32_t pid : ps_->paths_on_edge(e)) mass += cfg[pid];
+        score[e] = mass / ps_->edge_capacity(e);
+      }
+      std::vector<net::EdgeId> order(ps_->num_edges());
+      for (net::EdgeId e = 0; e < ps_->num_edges(); ++e) order[e] = e;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](net::EdgeId a, net::EdgeId b) {
+                         return score[a] > score[b];
+                       });
+      const std::size_t k = std::min<std::size_t>(opt_.oracle_seeds,
+                                                  order.size());
+      for (std::size_t i = 0; i < k && budget > 0; ++i) {
+        auto [util, dm] = te::worst_demand_for_edge(*ps_, cfg, hose_,
+                                                    order[i], &opt_.solver);
+        ++result.lp_solves;
+        (void)util;
+        consider(dm.sparsified());
+      }
+    }
+
+    // Coordinate-ascent / evolutionary perturbation around the incumbent.
+    while (budget > 0) {
+      Support s = best.num_nodes() > 0 ? support_of(best) : Support{};
+      if (s.keys.empty()) {
+        // Degenerate incumbent (all-zero seeds): start from random pairs.
+        for (std::size_t c = 0; c < opt_.coords; ++c) {
+          s.keys.push_back(static_cast<std::uint32_t>(
+              rng.uniform_index(pairs)));
+          s.vals.push_back(1.0);
+        }
+      } else {
+        double mean = 0.0;
+        for (double v : s.vals) mean += v;
+        mean /= static_cast<double>(s.vals.size());
+        for (std::size_t c = 0; c < opt_.coords; ++c) {
+          if (rng.bernoulli(opt_.inject_probability)) {
+            s.keys.push_back(static_cast<std::uint32_t>(
+                rng.uniform_index(pairs)));
+            s.vals.push_back(mean *
+                             std::exp(rng.normal(0.0, opt_.step_sigma)));
+          } else {
+            const std::size_t i = rng.uniform_index(s.keys.size());
+            s.vals[i] *= std::exp(rng.normal(0.0, opt_.step_sigma));
+          }
+        }
+      }
+      consider(DemandMatrix::sparse(n, std::move(s.keys),
+                                    std::move(s.vals)));
+    }
+
+    if (best.num_nodes() == 0) best = DemandMatrix::sparse(n, {}, {});
+    result.step_regret.push_back(best_regret);
+    result.best_regret = std::max(result.best_regret, best_regret);
+    hist.push_back(best);
+    result.trace.snapshots.push_back(std::move(best));
+  }
+  return result;
+}
+
+}  // namespace figret::traffic

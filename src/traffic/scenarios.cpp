@@ -1,0 +1,341 @@
+#include "traffic/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace figret::traffic {
+namespace {
+
+/// `count` distinct pair indices, in sampled order (rejection over a
+/// membership bitmap, like fabric_trace's hot set).
+std::vector<std::uint32_t> sample_distinct_pairs(util::Rng& rng,
+                                                 std::size_t pairs,
+                                                 std::size_t count) {
+  std::vector<char> member(pairs, 0);
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (;;) {
+      const auto p = static_cast<std::uint32_t>(rng.uniform_index(pairs));
+      if (!member[p]) {
+        member[p] = 1;
+        out.push_back(p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Lognormal multiplier with mean exactly 1 (mu = -sigma^2/2), so jitter
+/// perturbs without inflating expected volume.
+double mean_one_jitter(util::Rng& rng, double sigma) {
+  return sigma > 0.0 ? rng.lognormal(-0.5 * sigma * sigma, sigma) : 1.0;
+}
+
+/// Lognormal base rates over `slots` pairs, scaled to sum to `volume`.
+std::vector<double> scaled_base_rates(util::Rng& rng, std::size_t slots,
+                                      double mass_sigma, double volume) {
+  std::vector<double> rate(slots, 0.0);
+  double total = 0.0;
+  for (auto& r : rate) {
+    r = rng.lognormal(0.0, mass_sigma);
+    total += r;
+  }
+  if (total > 0.0)
+    for (auto& r : rate) r *= volume / total;
+  return rate;
+}
+
+std::size_t active_count(std::size_t pairs, double fraction,
+                         const char* who) {
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument(std::string(who) +
+                                ": active fraction must be in (0, 1]");
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(pairs)));
+}
+
+}  // namespace
+
+TrafficTrace jitter_spike_trace(std::size_t n, std::size_t length,
+                                std::uint64_t seed,
+                                const JitterSpikeOptions& opt,
+                                ScenarioTelemetry* telemetry) {
+  if (n < 2)
+    throw std::invalid_argument("jitter_spike_trace: need >= 2 nodes");
+  if (opt.spike_rate < 0.0 || opt.spike_rate > 1.0)
+    throw std::invalid_argument("jitter_spike_trace: spike_rate in [0, 1]");
+  if (opt.mean_spike_duration < 1.0)
+    throw std::invalid_argument(
+        "jitter_spike_trace: mean_spike_duration >= 1");
+  util::Rng rng(seed);
+  const std::size_t pairs = num_pairs(n);
+  const std::size_t active =
+      active_count(pairs, opt.active_fraction, "jitter_spike_trace");
+  const auto hot = sample_distinct_pairs(rng, pairs, active);
+  const auto rate =
+      scaled_base_rates(rng, active, opt.mass_sigma, opt.total_volume);
+
+  // Per-slot spike state: remaining duration and magnitude. A geometric
+  // duration with mean m corresponds to continuation probability 1 - 1/m.
+  const double stop_prob = 1.0 / opt.mean_spike_duration;
+  std::vector<std::uint32_t> spike_left(active, 0);
+  std::vector<double> spike_mag(active, 1.0);
+  if (telemetry) telemetry->spikes.clear();
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  std::vector<std::uint32_t> keys(active);
+  std::vector<double> vals(active);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t i = 0; i < active; ++i) {
+      if (spike_left[i] > 0) {
+        --spike_left[i];
+        if (spike_left[i] == 0) spike_mag[i] = 1.0;
+      } else if (rng.bernoulli(opt.spike_rate)) {
+        // Onset: geometric duration (>= 1) and Pareto magnitude.
+        std::uint32_t duration = 1;
+        while (!rng.bernoulli(stop_prob)) ++duration;
+        const double magnitude =
+            1.0 + rng.pareto(opt.spike_scale, opt.spike_shape);
+        spike_left[i] = duration;
+        spike_mag[i] = magnitude;
+        if (telemetry)
+          telemetry->spikes.push_back({static_cast<std::uint32_t>(t), hot[i],
+                                       duration, magnitude});
+      }
+      keys[i] = hot[i];
+      vals[i] = rate[i] * mean_one_jitter(rng, opt.jitter_sigma) *
+                (spike_left[i] > 0 ? spike_mag[i] : 1.0);
+    }
+    trace.snapshots.push_back(DemandMatrix::sparse(n, keys, vals));
+  }
+  return trace;
+}
+
+TrafficTrace onoff_trace(std::size_t n, std::size_t length,
+                         std::uint64_t seed, const OnOffOptions& opt,
+                         ScenarioTelemetry* telemetry) {
+  if (n < 2) throw std::invalid_argument("onoff_trace: need >= 2 nodes");
+  if (opt.p_on <= 0.0 || opt.p_on > 1.0 || opt.p_off <= 0.0 ||
+      opt.p_off > 1.0)
+    throw std::invalid_argument("onoff_trace: transition probs in (0, 1]");
+  if (opt.frame_period < 1)
+    throw std::invalid_argument("onoff_trace: frame_period >= 1");
+  util::Rng rng(seed);
+  const std::size_t pairs = num_pairs(n);
+  const std::size_t active =
+      active_count(pairs, opt.active_fraction, "onoff_trace");
+  const auto hot = sample_distinct_pairs(rng, pairs, active);
+
+  // Scale bases so the *expected* snapshot total at the stationary duty
+  // cycle and mean frame multiplier equals total_volume.
+  const double duty = opt.p_on / (opt.p_on + opt.p_off);
+  const double frames = static_cast<double>(opt.frame_period);
+  const double mean_mult =
+      (opt.reference_rate + (frames - 1.0) * opt.differential_rate) / frames;
+  const double denom = duty * mean_mult;
+  const auto rate = scaled_base_rates(
+      rng, active, opt.mass_sigma,
+      denom > 0.0 ? opt.total_volume / denom : opt.total_volume);
+
+  // Initial states from the stationary distribution; on_age drives the
+  // reference/differential frame alternation while a source stays ON.
+  std::vector<char> on(active, 0);
+  std::vector<std::uint32_t> on_age(active, 0);
+  for (std::size_t i = 0; i < active; ++i) on[i] = rng.bernoulli(duty);
+  if (telemetry) {
+    telemetry->on_counts.assign(length, 0);
+  }
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  std::vector<std::uint32_t> keys;
+  std::vector<double> vals;
+  for (std::size_t t = 0; t < length; ++t) {
+    keys.clear();
+    vals.clear();
+    std::uint32_t on_count = 0;
+    for (std::size_t i = 0; i < active; ++i) {
+      if (on[i]) {
+        if (rng.bernoulli(opt.p_off)) {
+          on[i] = 0;
+          on_age[i] = 0;
+        }
+      } else if (rng.bernoulli(opt.p_on)) {
+        on[i] = 1;
+        on_age[i] = 0;
+      }
+      if (!on[i]) continue;  // application-limited silence: no entry at all
+      ++on_count;
+      const double mult = (on_age[i] % opt.frame_period == 0)
+                              ? opt.reference_rate
+                              : opt.differential_rate;
+      ++on_age[i];
+      keys.push_back(hot[i]);
+      vals.push_back(rate[i] * mult * mean_one_jitter(rng, opt.jitter_sigma));
+    }
+    if (telemetry) telemetry->on_counts[t] = on_count;
+    trace.snapshots.push_back(DemandMatrix::sparse(n, keys, vals));
+  }
+  return trace;
+}
+
+TrafficTrace competitor_trace(std::size_t n, std::size_t length,
+                              std::uint64_t seed,
+                              const CompetitorOptions& opt,
+                              ScenarioTelemetry* telemetry) {
+  if (n < 2) throw std::invalid_argument("competitor_trace: need >= 2 nodes");
+  if (opt.competitors < 1)
+    throw std::invalid_argument("competitor_trace: need >= 1 competitor");
+  if (opt.multiplicative_decrease <= 0.0 || opt.multiplicative_decrease >= 1.0)
+    throw std::invalid_argument(
+        "competitor_trace: multiplicative_decrease in (0, 1)");
+  if (opt.additive_increase <= 0.0)
+    throw std::invalid_argument("competitor_trace: additive_increase > 0");
+  util::Rng rng(seed);
+  const std::size_t pairs = num_pairs(n);
+  const std::size_t background = active_count(
+      pairs, opt.background_fraction, "competitor_trace");
+  if (opt.competitors + background > pairs)
+    throw std::invalid_argument(
+        "competitor_trace: competitors + background exceed the pair space");
+  // One draw covers both populations; the first `competitors` slots are the
+  // loss-based flows, the rest carry background traffic.
+  const auto all =
+      sample_distinct_pairs(rng, pairs, opt.competitors + background);
+  const std::vector<std::uint32_t> comp(all.begin(),
+                                        all.begin() + opt.competitors);
+  const std::vector<std::uint32_t> bg(all.begin() + opt.competitors,
+                                      all.end());
+  const double cap = opt.bottleneck_capacity;
+  const auto bg_rate = scaled_base_rates(
+      rng, background, opt.mass_sigma, opt.background_volume_fraction * cap);
+
+  // Competitors start small and noise-free: between loss events each ramps
+  // by exactly `ai` per snapshot (strict monotone, asserted by tests).
+  const double ai = opt.additive_increase * cap;
+  std::vector<double> w(opt.competitors, 0.0);
+  for (auto& v : w)
+    v = cap * 0.05 * rng.uniform() / static_cast<double>(opt.competitors);
+
+  if (telemetry) {
+    telemetry->competitor_pairs = comp;
+    telemetry->loss_events.clear();
+    telemetry->competitor_rate.assign(length, 0.0);
+  }
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  std::vector<std::uint32_t> keys(opt.competitors + background);
+  std::vector<double> vals(opt.competitors + background);
+  for (std::size_t t = 0; t < length; ++t) {
+    double bg_total = 0.0;
+    for (std::size_t i = 0; i < background; ++i) {
+      keys[opt.competitors + i] = bg[i];
+      vals[opt.competitors + i] =
+          bg_rate[i] * mean_one_jitter(rng, opt.jitter_sigma);
+      bg_total += vals[opt.competitors + i];
+    }
+    double sum = 0.0;
+    for (auto& v : w) {
+      v += ai;
+      sum += v;
+    }
+    if (sum + bg_total > cap) {
+      // Loss: the bottleneck queue overflowed; every competitor backs off.
+      for (auto& v : w) v *= opt.multiplicative_decrease;
+      sum *= opt.multiplicative_decrease;
+      if (telemetry)
+        telemetry->loss_events.push_back(static_cast<std::uint32_t>(t));
+    }
+    for (std::size_t i = 0; i < opt.competitors; ++i) {
+      keys[i] = comp[i];
+      vals[i] = w[i];
+    }
+    if (telemetry) telemetry->competitor_rate[t] = sum;
+    trace.snapshots.push_back(DemandMatrix::sparse(n, keys, vals));
+  }
+  return trace;
+}
+
+TrafficTrace mixed_interactive_bulk_trace(
+    std::size_t n, std::size_t length, std::uint64_t seed,
+    const MixedInteractiveBulkOptions& opt, ScenarioTelemetry* telemetry) {
+  if (n < 2)
+    throw std::invalid_argument(
+        "mixed_interactive_bulk_trace: need >= 2 nodes");
+  if (opt.bulk_share < 0.0 || opt.bulk_share > 1.0)
+    throw std::invalid_argument(
+        "mixed_interactive_bulk_trace: bulk_share in [0, 1]");
+  if (opt.mice_on_probability <= 0.0 || opt.mice_on_probability > 1.0)
+    throw std::invalid_argument(
+        "mixed_interactive_bulk_trace: mice_on_probability in (0, 1]");
+  util::Rng rng(seed);
+  const std::size_t pairs = num_pairs(n);
+  const std::size_t bulk =
+      active_count(pairs, opt.bulk_fraction, "mixed_interactive_bulk_trace");
+  const std::size_t mice =
+      active_count(pairs, opt.mice_fraction, "mixed_interactive_bulk_trace");
+  if (bulk + mice > pairs)
+    throw std::invalid_argument(
+        "mixed_interactive_bulk_trace: bulk + mice exceed the pair space");
+  const auto all = sample_distinct_pairs(rng, pairs, bulk + mice);
+  const std::vector<std::uint32_t> elephants(all.begin(), all.begin() + bulk);
+  const std::vector<std::uint32_t> mice_pairs(all.begin() + bulk, all.end());
+
+  const auto bulk_rate = scaled_base_rates(
+      rng, bulk, opt.mass_sigma, opt.bulk_share * opt.total_volume);
+  // Mice bases scaled so the *expected* active-mice total fills the rest.
+  const auto mice_rate = scaled_base_rates(
+      rng, mice, opt.mass_sigma,
+      (1.0 - opt.bulk_share) * opt.total_volume / opt.mice_on_probability);
+
+  std::vector<double> bulk_log(bulk, 0.0);
+  if (telemetry) {
+    telemetry->bulk_volume.assign(length, 0.0);
+    telemetry->active_mice.assign(length, 0);
+  }
+
+  TrafficTrace trace;
+  trace.num_nodes = n;
+  trace.snapshots.reserve(length);
+  std::vector<std::uint32_t> keys;
+  std::vector<double> vals;
+  for (std::size_t t = 0; t < length; ++t) {
+    keys.clear();
+    vals.clear();
+    double bulk_total = 0.0;
+    for (std::size_t i = 0; i < bulk; ++i) {
+      // Slow AR(1) on log-rate: elephants are the stable, predictable part.
+      bulk_log[i] = opt.bulk_ar_rho * bulk_log[i] +
+                    std::sqrt(1.0 - opt.bulk_ar_rho * opt.bulk_ar_rho) *
+                        rng.normal(0.0, opt.bulk_sigma);
+      keys.push_back(elephants[i]);
+      vals.push_back(bulk_rate[i] * std::exp(bulk_log[i]));
+      bulk_total += vals.back();
+    }
+    std::uint32_t mice_on = 0;
+    for (std::size_t i = 0; i < mice; ++i) {
+      if (!rng.bernoulli(opt.mice_on_probability)) continue;
+      ++mice_on;
+      keys.push_back(mice_pairs[i]);
+      vals.push_back(mice_rate[i] * mean_one_jitter(rng, opt.mice_sigma));
+    }
+    if (telemetry) {
+      telemetry->bulk_volume[t] = bulk_total;
+      telemetry->active_mice[t] = mice_on;
+    }
+    trace.snapshots.push_back(DemandMatrix::sparse(n, keys, vals));
+  }
+  return trace;
+}
+
+}  // namespace figret::traffic

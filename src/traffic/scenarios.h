@@ -1,0 +1,166 @@
+// Adversarial and jitter-heavy scenario generators from the congestion-
+// control literature (ROADMAP "scenario diversity"; C4 docs, L4Span):
+//
+//  * jitter_spike_trace            — Wi-Fi-style heavy-tailed rate spikes:
+//                                    a hot set of pairs with lognormal
+//                                    jitter plus Pareto-magnitude spikes of
+//                                    geometric duration
+//  * onoff_trace                   — application-limited sources with
+//                                    two-state Markov on/off switching,
+//                                    alternating reference/differential
+//                                    frame rates while on (video-style)
+//  * competitor_trace              — loss-based AIMD flows ramping until a
+//                                    shared bottleneck overflows, then
+//                                    backing off ("pig war"), over jittered
+//                                    background traffic
+//  * mixed_interactive_bulk_trace  — L4Span-style latency-sensitive mice
+//                                    bursts riding over a few stable bulk
+//                                    elephants
+//
+// Every generator is seed-deterministic (one util::Rng, fixed draw order)
+// and emits *sparse* DemandMatrix snapshots — only the pairs active in a
+// snapshot are stored, never the full n*(n-1) vector. Traces compose with
+// traffic::SnapshotFeed pacing and traffic::trace_io like any other trace.
+//
+// Each generator optionally reports ground truth into a ScenarioTelemetry,
+// so the statistical property tests (test_scenarios) assert against what
+// actually happened instead of re-deriving events from the demands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/demand.h"
+
+namespace figret::traffic {
+
+/// Ground-truth event log filled in by the scenario generators (only the
+/// fields relevant to the requested generator are populated).
+struct ScenarioTelemetry {
+  /// jitter_spike_trace: one record per spike onset.
+  struct Spike {
+    std::uint32_t start = 0;     // snapshot index of the onset
+    std::uint32_t pair = 0;      // pair index the spike hits
+    std::uint32_t duration = 0;  // snapshots the spike lasts (>= 1)
+    double magnitude = 1.0;      // multiplicative Pareto magnitude
+  };
+  std::vector<Spike> spikes;
+
+  /// onoff_trace: number of ON sources per snapshot.
+  std::vector<std::uint32_t> on_counts;
+
+  /// competitor_trace: pair ids of the loss-based competitor flows.
+  std::vector<std::uint32_t> competitor_pairs;
+  /// competitor_trace: snapshots at which the bottleneck overflowed and the
+  /// competitors backed off multiplicatively.
+  std::vector<std::uint32_t> loss_events;
+  /// competitor_trace: aggregate competitor rate as emitted per snapshot.
+  std::vector<double> competitor_rate;
+
+  /// mixed_interactive_bulk_trace: per-snapshot bulk (elephant) volume and
+  /// count of active mice.
+  std::vector<double> bulk_volume;
+  std::vector<std::uint32_t> active_mice;
+};
+
+struct JitterSpikeOptions {
+  /// Fraction of the n*(n-1) pairs forming the hot set.
+  double active_fraction = 0.25;
+  /// Lognormal sigma of per-pair base rates.
+  double mass_sigma = 0.8;
+  /// Per-snapshot lognormal jitter sigma (mean-1 noise on every pair).
+  double jitter_sigma = 0.3;
+  /// Per-pair per-snapshot spike onset probability (while not spiking).
+  double spike_rate = 0.01;
+  /// Pareto scale/shape of the spike magnitude (multiplier on the base).
+  double spike_scale = 4.0;
+  double spike_shape = 1.5;
+  /// Mean spike duration in snapshots (geometric, >= 1).
+  double mean_spike_duration = 3.0;
+  /// Expected non-spike snapshot total (base rates are scaled once).
+  double total_volume = 1.0;
+};
+
+/// Wi-Fi-style jitter-heavy traffic: heavy-tailed per-pair rate spikes of
+/// tunable rate, magnitude and duration over a jittered base.
+TrafficTrace jitter_spike_trace(std::size_t n, std::size_t length,
+                                std::uint64_t seed,
+                                const JitterSpikeOptions& = {},
+                                ScenarioTelemetry* telemetry = nullptr);
+
+struct OnOffOptions {
+  /// Fraction of pairs that are (potentially active) on/off sources.
+  double active_fraction = 0.3;
+  /// Markov switching: P(off -> on) and P(on -> off) per snapshot.
+  double p_on = 0.08;
+  double p_off = 0.04;
+  /// Rate multipliers for reference frames (every `frame_period`-th ON
+  /// snapshot) vs differential frames (the rest) — the video-coding
+  /// alternation of the C4 workloads.
+  double reference_rate = 4.0;
+  double differential_rate = 1.0;
+  std::size_t frame_period = 8;
+  double mass_sigma = 0.6;
+  /// Per-snapshot lognormal jitter sigma on emitting sources (mean 1).
+  double jitter_sigma = 0.1;
+  /// Expected snapshot total at the stationary duty cycle.
+  double total_volume = 1.0;
+};
+
+/// Application-limited on/off sources: two-state Markov switching, sources
+/// emit nothing while OFF (and are absent from the sparse snapshot).
+TrafficTrace onoff_trace(std::size_t n, std::size_t length,
+                         std::uint64_t seed, const OnOffOptions& = {},
+                         ScenarioTelemetry* telemetry = nullptr);
+
+struct CompetitorOptions {
+  /// Number of loss-based flows sharing the bottleneck.
+  std::size_t competitors = 4;
+  /// Shared bottleneck capacity (volume units per snapshot).
+  double bottleneck_capacity = 1.0;
+  /// Additive increase per flow per snapshot, as a fraction of capacity.
+  double additive_increase = 0.02;
+  /// Multiplicative decrease factor applied on overflow, in (0, 1).
+  double multiplicative_decrease = 0.5;
+  /// Background traffic: expected volume as a fraction of capacity, spread
+  /// over `background_fraction` of the pairs with lognormal jitter.
+  double background_volume_fraction = 0.3;
+  double background_fraction = 0.2;
+  double mass_sigma = 0.6;
+  double jitter_sigma = 0.1;
+};
+
+/// "Pig war": loss-based competitors ramp additively until their aggregate
+/// plus the jittered background overflows the shared bottleneck, then back
+/// off multiplicatively — sawtooth ramps with endogenous loss timing.
+/// Competitor rates are noise-free, so ramps are strictly monotone between
+/// loss events (the property test_scenarios asserts).
+TrafficTrace competitor_trace(std::size_t n, std::size_t length,
+                              std::uint64_t seed,
+                              const CompetitorOptions& = {},
+                              ScenarioTelemetry* telemetry = nullptr);
+
+struct MixedInteractiveBulkOptions {
+  /// Fractions of the pair space acting as bulk elephants / interactive mice.
+  double bulk_fraction = 0.05;
+  double mice_fraction = 0.40;
+  /// Expected share of total volume carried by the bulk elephants.
+  double bulk_share = 0.7;
+  /// AR(1) persistence and innovation sigma of elephant log-rates (slow).
+  double bulk_ar_rho = 0.98;
+  double bulk_sigma = 0.05;
+  /// Per-mouse per-snapshot activity probability and burst size sigma.
+  double mice_on_probability = 0.25;
+  double mice_sigma = 0.6;
+  double mass_sigma = 0.6;
+  double total_volume = 1.0;
+};
+
+/// L4Span-style mixed workload: latency-sensitive mice bursts (on/off,
+/// heavy-tailed sizes) over a few stable bulk elephants.
+TrafficTrace mixed_interactive_bulk_trace(
+    std::size_t n, std::size_t length, std::uint64_t seed,
+    const MixedInteractiveBulkOptions& = {},
+    ScenarioTelemetry* telemetry = nullptr);
+
+}  // namespace figret::traffic

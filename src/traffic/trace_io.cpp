@@ -1,5 +1,6 @@
 #include "traffic/trace_io.h"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <istream>
@@ -11,21 +12,96 @@
 namespace figret::traffic {
 namespace {
 
-constexpr const char* kHeaderPrefix = "figret-trace,v1,";
+constexpr const char* kHeaderV1 = "figret-trace,v1,";
+constexpr const char* kHeaderV2 = "figret-trace,v2,";
+
+double parse_double(const char* begin, const char* end, std::size_t line_no) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end)
+    throw std::runtime_error("load_trace: bad number at line " +
+                             std::to_string(line_no));
+  if (v < 0.0)
+    throw std::runtime_error("load_trace: negative demand at line " +
+                             std::to_string(line_no));
+  return v;
+}
+
+DemandMatrix parse_dense_row(const std::string& line, std::size_t begin,
+                             std::size_t n, std::size_t line_no) {
+  const std::size_t pairs = num_pairs(n);
+  DemandMatrix dm(n);
+  std::size_t col = 0;
+  while (begin <= line.size()) {
+    std::size_t end = line.find(',', begin);
+    if (end == std::string::npos) end = line.size();
+    if (col >= pairs)
+      throw std::runtime_error("load_trace: too many columns at line " +
+                               std::to_string(line_no));
+    dm[col++] = parse_double(line.data() + begin, line.data() + end, line_no);
+    if (end == line.size()) break;
+    begin = end + 1;
+  }
+  if (col != pairs)
+    throw std::runtime_error("load_trace: expected " + std::to_string(pairs) +
+                             " columns at line " + std::to_string(line_no));
+  return dm;
+}
+
+DemandMatrix parse_sparse_row(const std::string& line, std::size_t begin,
+                              std::size_t n, std::size_t line_no) {
+  const std::size_t pairs = num_pairs(n);
+  std::vector<std::uint32_t> keys;
+  std::vector<double> vals;
+  while (begin < line.size()) {
+    std::size_t end = line.find(',', begin);
+    if (end == std::string::npos) end = line.size();
+    const std::size_t colon = line.find(':', begin);
+    if (colon == std::string::npos || colon >= end)
+      throw std::runtime_error("load_trace: bad sparse cell at line " +
+                               std::to_string(line_no));
+    std::uint64_t key = 0;
+    const auto [kp, kec] =
+        std::from_chars(line.data() + begin, line.data() + colon, key);
+    if (kec != std::errc{} || kp != line.data() + colon || key >= pairs)
+      throw std::runtime_error("load_trace: bad pair index at line " +
+                               std::to_string(line_no));
+    if (!keys.empty() && key <= keys.back())
+      throw std::runtime_error("load_trace: unsorted sparse keys at line " +
+                               std::to_string(line_no));
+    keys.push_back(static_cast<std::uint32_t>(key));
+    vals.push_back(
+        parse_double(line.data() + colon + 1, line.data() + end, line_no));
+    if (end == line.size()) break;
+    begin = end + 1;
+  }
+  return DemandMatrix::sparse(n, std::move(keys), std::move(vals));
+}
 
 }  // namespace
 
 void save_trace(const TrafficTrace& trace, std::ostream& os) {
   if (trace.num_nodes < 2)
     throw std::runtime_error("save_trace: trace has no node set");
-  os << kHeaderPrefix << trace.num_nodes << '\n';
+  const bool any_sparse =
+      std::any_of(trace.snapshots.begin(), trace.snapshots.end(),
+                  [](const DemandMatrix& dm) { return dm.is_sparse(); });
+  os << (any_sparse ? kHeaderV2 : kHeaderV1) << trace.num_nodes << '\n';
   os.precision(std::numeric_limits<double>::max_digits10);
   for (const DemandMatrix& dm : trace.snapshots) {
     if (dm.size() != num_pairs(trace.num_nodes))
       throw std::runtime_error("save_trace: snapshot size mismatch");
-    for (std::size_t p = 0; p < dm.size(); ++p) {
-      if (p) os << ',';
-      os << dm[p];
+    if (dm.is_sparse()) {
+      // "s" + the stored (pair, value) entries, already sorted by pair.
+      os << 's';
+      dm.for_each_active(
+          [&](std::size_t p, double v) { os << ',' << p << ':' << v; });
+    } else {
+      if (any_sparse) os << "d,";
+      for (std::size_t p = 0; p < dm.size(); ++p) {
+        if (p) os << ',';
+        os << dm[p];
+      }
     }
     os << '\n';
   }
@@ -42,11 +118,12 @@ TrafficTrace load_trace(std::istream& is) {
   std::string line;
   if (!std::getline(is, line))
     throw std::runtime_error("load_trace: empty input");
-  if (line.rfind(kHeaderPrefix, 0) != 0)
+  const bool v2 = line.rfind(kHeaderV2, 0) == 0;
+  if (!v2 && line.rfind(kHeaderV1, 0) != 0)
     throw std::runtime_error("load_trace: bad header");
   std::size_t n = 0;
   {
-    const std::string tail = line.substr(std::string(kHeaderPrefix).size());
+    const std::string tail = line.substr(std::string(kHeaderV1).size());
     const auto [ptr, ec] =
         std::from_chars(tail.data(), tail.data() + tail.size(), n);
     if (ec != std::errc{} || n < 2)
@@ -56,38 +133,25 @@ TrafficTrace load_trace(std::istream& is) {
 
   TrafficTrace trace;
   trace.num_nodes = n;
-  const std::size_t pairs = num_pairs(n);
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    DemandMatrix dm(n);
-    std::size_t col = 0;
-    std::size_t begin = 0;
-    while (begin <= line.size()) {
-      std::size_t end = line.find(',', begin);
-      if (end == std::string::npos) end = line.size();
-      if (col >= pairs)
-        throw std::runtime_error("load_trace: too many columns at line " +
-                                 std::to_string(line_no));
-      double v = 0.0;
-      const auto [ptr, ec] =
-          std::from_chars(line.data() + begin, line.data() + end, v);
-      if (ec != std::errc{} || ptr != line.data() + end)
-        throw std::runtime_error("load_trace: bad number at line " +
-                                 std::to_string(line_no));
-      if (v < 0.0)
-        throw std::runtime_error("load_trace: negative demand at line " +
-                                 std::to_string(line_no));
-      dm[col++] = v;
-      if (end == line.size()) break;
-      begin = end + 1;
-    }
-    if (col != pairs)
-      throw std::runtime_error("load_trace: expected " +
-                               std::to_string(pairs) + " columns at line " +
+    if (v2) {
+      if (line[0] == 's' && (line.size() == 1 || line[1] == ',')) {
+        trace.snapshots.push_back(
+            parse_sparse_row(line, std::min<std::size_t>(2, line.size()), n,
+                             line_no));
+        continue;
+      }
+      if (line[0] == 'd' && line.size() > 1 && line[1] == ',') {
+        trace.snapshots.push_back(parse_dense_row(line, 2, n, line_no));
+        continue;
+      }
+      throw std::runtime_error("load_trace: bad v2 row tag at line " +
                                std::to_string(line_no));
-    trace.snapshots.push_back(std::move(dm));
+    }
+    trace.snapshots.push_back(parse_dense_row(line, 0, n, line_no));
   }
   return trace;
 }

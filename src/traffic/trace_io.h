@@ -2,9 +2,19 @@
 //
 // The paper's evaluation consumes external datasets (GEANT TOTEM matrices,
 // Meta ToR traces); a downstream user of this library will want to feed
-// their own measurements. Format: plain CSV, one snapshot per line, columns
-// are the n*(n-1) ordered off-diagonal pair demands (pair_index order), with
-// a single header line "figret-trace,v1,<num_nodes>".
+// their own measurements. Two formats, both with max_digits10 doubles so a
+// round trip is bit-exact:
+//
+//  * v1 (dense): one snapshot per line, the n*(n-1) ordered off-diagonal
+//    pair demands in pair_index order, header "figret-trace,v1,<num_nodes>".
+//  * v2 (representation-preserving): header "figret-trace,v2,<num_nodes>";
+//    each line starts with a tag cell — "d" followed by the dense columns,
+//    or "s" followed by "pair:value" cells for the stored sparse entries.
+//    A sparse snapshot loads back sparse (same keys, bit-equal values), so
+//    fabric-scale traces never densify through a save/load cycle.
+//
+// save_trace picks v1 when every snapshot is dense (backward compatible)
+// and v2 as soon as any snapshot is sparse; load_trace reads either.
 #pragma once
 
 #include <iosfwd>

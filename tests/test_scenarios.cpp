@@ -1,0 +1,313 @@
+// Statistical property tests for the adversarial / jitter-heavy scenario
+// generators (traffic/scenarios.h). Every test uses a fixed seed and
+// explicit tolerance bounds — generators are seed-deterministic, so none of
+// these assertions can flake. Ground truth comes from ScenarioTelemetry
+// rather than being re-derived from the demands.
+#include "traffic/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "traffic/feed.h"
+#include "util/stats.h"
+
+namespace figret::traffic {
+namespace {
+
+std::vector<double> snapshot_totals(const TrafficTrace& t) {
+  std::vector<double> totals;
+  totals.reserve(t.size());
+  for (const auto& dm : t.snapshots) totals.push_back(dm.total());
+  return totals;
+}
+
+void expect_sparse_nonnegative(const TrafficTrace& t) {
+  for (const auto& dm : t.snapshots) {
+    EXPECT_TRUE(dm.is_sparse());
+    dm.for_each_active([](std::size_t, double v) { EXPECT_GE(v, 0.0); });
+  }
+}
+
+// ---------------------------------------------------------------- jitter --
+
+TEST(JitterSpike, SparseSnapshotsAndShape) {
+  const TrafficTrace t = jitter_spike_trace(8, 60, 11);
+  EXPECT_EQ(t.num_nodes, 8u);
+  EXPECT_EQ(t.size(), 60u);
+  expect_sparse_nonnegative(t);
+  // Hot set only: nnz stays well under the full pair space.
+  for (const auto& dm : t.snapshots)
+    EXPECT_LE(dm.nnz(), num_pairs(8) / 2);
+}
+
+TEST(JitterSpike, DemandConservation) {
+  // The non-spike base is scaled to total_volume with mean-1 jitter, so the
+  // *median* snapshot total (robust to spikes) sits near the target.
+  JitterSpikeOptions opt;
+  opt.total_volume = 2.0;
+  const TrafficTrace t = jitter_spike_trace(10, 400, 17, opt);
+  const double med = util::percentile(snapshot_totals(t), 50.0);
+  EXPECT_GT(med, 0.75 * opt.total_volume);
+  EXPECT_LT(med, 1.6 * opt.total_volume);
+}
+
+TEST(JitterSpike, SpikeOnsetRateWithinTolerance) {
+  JitterSpikeOptions opt;
+  opt.spike_rate = 0.02;
+  opt.mean_spike_duration = 3.0;
+  ScenarioTelemetry tel;
+  const std::size_t length = 600;
+  const TrafficTrace t = jitter_spike_trace(12, length, 23, opt, &tel);
+  const std::size_t active = t.snapshots.front().nnz();
+  ASSERT_GT(tel.spikes.size(), 100u);  // enough mass for a tight estimate
+  // Eligible slots: every (pair, snapshot) minus the slots occupied by a
+  // spike (plus its cool-down snapshot, which draws no onset).
+  double occupied = 0.0;
+  for (const auto& s : tel.spikes) occupied += s.duration + 1.0;
+  const double eligible =
+      static_cast<double>(active) * static_cast<double>(length) - occupied;
+  const double rate = static_cast<double>(tel.spikes.size()) / eligible;
+  EXPECT_GT(rate, 0.75 * opt.spike_rate);
+  EXPECT_LT(rate, 1.25 * opt.spike_rate);
+}
+
+TEST(JitterSpike, InterArrivalMeanMatchesGeometric) {
+  // Per-pair gaps between onsets, minus the previous spike's occupancy,
+  // are geometric waits with mean 1/spike_rate.
+  JitterSpikeOptions opt;
+  opt.spike_rate = 0.03;
+  ScenarioTelemetry tel;
+  jitter_spike_trace(12, 800, 29, opt, &tel);
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> last;
+  std::vector<double> waits;
+  for (const auto& s : tel.spikes) {
+    const auto it = last.find(s.pair);
+    if (it != last.end()) {
+      const double occupied = it->second.second + 1.0;  // duration + cooldown
+      waits.push_back(static_cast<double>(s.start) -
+                      static_cast<double>(it->second.first) - occupied + 1.0);
+    }
+    last[s.pair] = {s.start, s.duration};
+  }
+  ASSERT_GT(waits.size(), 200u);
+  const double mean_wait = util::mean(waits);
+  EXPECT_GT(mean_wait, 0.75 / opt.spike_rate);
+  EXPECT_LT(mean_wait, 1.25 / opt.spike_rate);
+}
+
+TEST(JitterSpike, DurationAndMagnitudeFollowOptions) {
+  JitterSpikeOptions opt;
+  opt.mean_spike_duration = 4.0;
+  opt.spike_scale = 3.0;
+  opt.spike_rate = 0.02;
+  ScenarioTelemetry tel;
+  jitter_spike_trace(12, 600, 31, opt, &tel);
+  ASSERT_GT(tel.spikes.size(), 50u);
+  double dur = 0.0;
+  for (const auto& s : tel.spikes) {
+    dur += s.duration;
+    // Magnitude = 1 + Pareto(scale, shape) >= 1 + scale by construction.
+    EXPECT_GE(s.magnitude, 1.0 + opt.spike_scale);
+  }
+  dur /= static_cast<double>(tel.spikes.size());
+  EXPECT_GT(dur, 0.7 * opt.mean_spike_duration);
+  EXPECT_LT(dur, 1.3 * opt.mean_spike_duration);
+}
+
+// ----------------------------------------------------------------- onoff --
+
+TEST(OnOff, SparseAndSilentWhileOff) {
+  ScenarioTelemetry tel;
+  const TrafficTrace t = onoff_trace(8, 80, 37, {}, &tel);
+  expect_sparse_nonnegative(t);
+  // The sparse snapshot stores exactly the ON sources — OFF sources are
+  // absent, not zero-valued.
+  for (std::size_t s = 0; s < t.size(); ++s)
+    EXPECT_EQ(t[s].nnz(), tel.on_counts[s]);
+}
+
+TEST(OnOff, DutyCycleMatchesStationaryDistribution) {
+  OnOffOptions opt;
+  opt.p_on = 0.10;
+  opt.p_off = 0.05;
+  ScenarioTelemetry tel;
+  const std::size_t length = 700;
+  onoff_trace(12, length, 41, opt, &tel);
+  ASSERT_EQ(tel.on_counts.size(), length);
+  double on_slots = 0.0;
+  for (auto c : tel.on_counts) on_slots += c;
+  const double population =
+      static_cast<double>(num_pairs(12)) * 0.3;  // active_fraction default
+  const double duty = on_slots / (population * static_cast<double>(length));
+  const double expected = opt.p_on / (opt.p_on + opt.p_off);
+  EXPECT_GT(duty, expected - 0.10);
+  EXPECT_LT(duty, expected + 0.10);
+}
+
+TEST(OnOff, ReferenceFramesRaiseRates) {
+  // With zero jitter, a source's ON-run values alternate deterministically:
+  // the reference frame is reference_rate / differential_rate above the
+  // differential frames.
+  OnOffOptions opt;
+  opt.jitter_sigma = 0.0;
+  opt.reference_rate = 4.0;
+  opt.differential_rate = 1.0;
+  opt.frame_period = 4;
+  const TrafficTrace t = onoff_trace(8, 300, 43, opt);
+  // Collect per-pair distinct values; each pair's max/min ratio over an ON
+  // run must be exactly reference/differential (or 1 if never long enough).
+  std::map<std::uint32_t, std::pair<double, double>> range;  // min, max
+  for (const auto& dm : t.snapshots)
+    dm.for_each_active([&](std::size_t p, double v) {
+      auto [it, fresh] = range.try_emplace(static_cast<std::uint32_t>(p), v, v);
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, v);
+        it->second.second = std::max(it->second.second, v);
+      }
+    });
+  std::size_t alternating = 0;
+  for (const auto& [p, mm] : range) {
+    const double ratio = mm.second / mm.first;
+    EXPECT_LT(ratio, opt.reference_rate / opt.differential_rate + 1e-9);
+    if (ratio > 3.9) ++alternating;
+  }
+  EXPECT_GT(alternating, range.size() / 2);  // most sources hit both frames
+}
+
+TEST(OnOff, ExpectedVolumeNearTarget) {
+  OnOffOptions opt;
+  opt.total_volume = 5.0;
+  const TrafficTrace t = onoff_trace(12, 500, 47, opt);
+  const double mean_total = util::mean(snapshot_totals(t));
+  EXPECT_GT(mean_total, 0.7 * opt.total_volume);
+  EXPECT_LT(mean_total, 1.3 * opt.total_volume);
+}
+
+// ------------------------------------------------------------ competitor --
+
+TEST(Competitor, MonotoneRampUntilLoss) {
+  CompetitorOptions opt;
+  ScenarioTelemetry tel;
+  const TrafficTrace t = competitor_trace(8, 400, 53, opt, &tel);
+  expect_sparse_nonnegative(t);
+  ASSERT_GE(tel.loss_events.size(), 3u);  // the ramp reaches the cap often
+  std::vector<char> is_loss(t.size(), 0);
+  for (auto e : tel.loss_events) is_loss[e] = 1;
+  for (std::size_t s = 1; s < t.size(); ++s) {
+    if (is_loss[s]) {
+      // Multiplicative back-off: the aggregate drops.
+      EXPECT_LT(tel.competitor_rate[s], tel.competitor_rate[s - 1]);
+    } else {
+      // Additive increase: strictly monotone ramp between losses.
+      EXPECT_GT(tel.competitor_rate[s], tel.competitor_rate[s - 1]);
+    }
+  }
+}
+
+TEST(Competitor, AggregateNeverExceedsBottleneck) {
+  CompetitorOptions opt;
+  opt.bottleneck_capacity = 2.0;
+  ScenarioTelemetry tel;
+  competitor_trace(8, 300, 59, opt, &tel);
+  for (double r : tel.competitor_rate)
+    EXPECT_LE(r, opt.bottleneck_capacity + 1e-12);
+}
+
+TEST(Competitor, CompetitorPairsCarryTheSawtooth) {
+  ScenarioTelemetry tel;
+  const TrafficTrace t = competitor_trace(8, 200, 61, {}, &tel);
+  ASSERT_EQ(tel.competitor_pairs.size(), 4u);
+  // The emitted snapshot's competitor entries sum to the telemetry rate.
+  for (std::size_t s = 0; s < t.size(); ++s) {
+    double sum = 0.0;
+    for (auto p : tel.competitor_pairs) sum += t[s][p];
+    EXPECT_NEAR(sum, tel.competitor_rate[s], 1e-9);
+  }
+}
+
+// ----------------------------------------------------------------- mixed --
+
+TEST(MixedInteractiveBulk, BulkShareWithinTolerance) {
+  MixedInteractiveBulkOptions opt;
+  opt.bulk_share = 0.7;
+  ScenarioTelemetry tel;
+  const TrafficTrace t = mixed_interactive_bulk_trace(12, 500, 67, opt, &tel);
+  expect_sparse_nonnegative(t);
+  const double mean_total = util::mean(snapshot_totals(t));
+  const double mean_bulk = util::mean(tel.bulk_volume);
+  const double share = mean_bulk / mean_total;
+  EXPECT_GT(share, opt.bulk_share - 0.12);
+  EXPECT_LT(share, opt.bulk_share + 0.12);
+}
+
+TEST(MixedInteractiveBulk, MiceActivityMatchesProbability) {
+  MixedInteractiveBulkOptions opt;
+  opt.mice_on_probability = 0.25;
+  ScenarioTelemetry tel;
+  mixed_interactive_bulk_trace(12, 600, 71, opt, &tel);
+  const double mice_population =
+      static_cast<double>(num_pairs(12)) * opt.mice_fraction;
+  std::vector<double> counts(tel.active_mice.begin(), tel.active_mice.end());
+  const double mean_active = util::mean(counts);
+  EXPECT_GT(mean_active, 0.8 * opt.mice_on_probability * mice_population);
+  EXPECT_LT(mean_active, 1.2 * opt.mice_on_probability * mice_population);
+}
+
+TEST(MixedInteractiveBulk, ElephantsAlwaysPresentAndStable) {
+  ScenarioTelemetry tel;
+  const TrafficTrace t = mixed_interactive_bulk_trace(10, 300, 73, {}, &tel);
+  // Bulk volume is slow AR(1): consecutive-snapshot relative change small.
+  for (std::size_t s = 1; s < t.size(); ++s) {
+    EXPECT_GT(tel.bulk_volume[s], 0.0);
+    const double rel = tel.bulk_volume[s] / tel.bulk_volume[s - 1];
+    EXPECT_GT(rel, 0.8);
+    EXPECT_LT(rel, 1.25);
+  }
+}
+
+// ------------------------------------------------------------------ feed --
+
+TEST(Scenarios, ComposeWithSnapshotFeedPacing) {
+  // Scenario traces are ordinary TrafficTraces: the paced feed replays an
+  // index range losslessly, so the serving loop can stream them.
+  const TrafficTrace t = jitter_spike_trace(6, 50, 79);
+  SnapshotFeed::Options fopt;
+  fopt.begin = 10;
+  fopt.end = t.size();
+  fopt.rate = 0.0;  // as fast as accepted
+  SnapshotFeed feed(fopt);
+  std::vector<std::uint32_t> seen;
+  feed.run([&](std::uint32_t idx) {
+    seen.push_back(idx);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), t.size() - 10);
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 10 + i);
+  EXPECT_EQ(feed.accepted(), seen.size());
+}
+
+// Invalid-argument guards.
+TEST(Scenarios, RejectsBadOptions) {
+  EXPECT_THROW(jitter_spike_trace(1, 10, 1), std::invalid_argument);
+  JitterSpikeOptions js;
+  js.mean_spike_duration = 0.5;
+  EXPECT_THROW(jitter_spike_trace(6, 10, 1, js), std::invalid_argument);
+  OnOffOptions oo;
+  oo.p_on = 0.0;
+  EXPECT_THROW(onoff_trace(6, 10, 1, oo), std::invalid_argument);
+  CompetitorOptions co;
+  co.multiplicative_decrease = 1.0;
+  EXPECT_THROW(competitor_trace(6, 10, 1, co), std::invalid_argument);
+  MixedInteractiveBulkOptions mo;
+  mo.bulk_share = 1.5;
+  EXPECT_THROW(mixed_interactive_bulk_trace(6, 10, 1, mo),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace figret::traffic

@@ -4,11 +4,38 @@
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "traffic/generators.h"
+#include "traffic/scenarios.h"
 
 namespace figret::traffic {
 namespace {
+
+using Entry = std::pair<std::size_t, double>;
+
+std::vector<Entry> entries(const DemandMatrix& dm) {
+  std::vector<Entry> out;
+  dm.for_each_active([&](std::size_t p, double v) { out.push_back({p, v}); });
+  return out;
+}
+
+// Representation, keys, and bit-exact values (no tolerance) must survive the
+// text round trip — max_digits10 formatting guarantees the shortest uniquely
+// identifying decimal for every finite double.
+void expect_round_trip_bit_exact(const TrafficTrace& original) {
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const TrafficTrace loaded = load_trace(buffer);
+  ASSERT_EQ(loaded.num_nodes, original.num_nodes);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t t = 0; t < original.size(); ++t) {
+    EXPECT_EQ(loaded[t].is_sparse(), original[t].is_sparse())
+        << "snapshot " << t;
+    EXPECT_EQ(entries(loaded[t]), entries(original[t])) << "snapshot " << t;
+  }
+}
 
 TEST(TraceIo, RoundTripPreservesEveryEntry) {
   const TrafficTrace original = dc_tor_trace(5, 30, 7);
@@ -72,6 +99,84 @@ TEST(TraceIo, SkipsBlankLines) {
 
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace_file("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+// --------------------------------------------------- v2 (sparse) format --
+
+TEST(TraceIoV2, DenseTraceStaysV1) {
+  // Backward compatibility: all-dense traces keep the v1 header byte-for-
+  // byte, so older readers still load them.
+  const TrafficTrace dense = gravity_trace(4, 3, 5);
+  std::stringstream buffer;
+  save_trace(dense, buffer);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "figret-trace,v1,4");
+}
+
+TEST(TraceIoV2, SparseTraceRoundTripsBitExact) {
+  for (const TrafficTrace& t :
+       {jitter_spike_trace(6, 20, 11), onoff_trace(6, 20, 13),
+        competitor_trace(6, 20, 17), mixed_interactive_bulk_trace(6, 20, 19),
+        fabric_trace(8, 10, 23)}) {
+    ASSERT_TRUE(t.snapshots.front().is_sparse());
+    expect_round_trip_bit_exact(t);
+  }
+}
+
+TEST(TraceIoV2, MixedDenseAndSparseSnapshotsRoundTrip) {
+  TrafficTrace t = gravity_trace(5, 4, 29);  // dense snapshots
+  const TrafficTrace sp = jitter_spike_trace(5, 4, 31);
+  t.snapshots.insert(t.snapshots.end(), sp.snapshots.begin(),
+                     sp.snapshots.end());
+  std::stringstream buffer;
+  save_trace(t, buffer);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "figret-trace,v2,5");  // any sparse snapshot forces v2
+  expect_round_trip_bit_exact(t);
+}
+
+TEST(TraceIoV2, EmptySparseSnapshotRoundTrips) {
+  TrafficTrace t;
+  t.num_nodes = 4;
+  t.snapshots.push_back(DemandMatrix::sparse(4, {}, {}));
+  t.snapshots.push_back(DemandMatrix::sparse(4, {3, 7}, {1.5, 2.5}));
+  expect_round_trip_bit_exact(t);
+  EXPECT_EQ(t.snapshots.front().nnz(), 0u);
+}
+
+TEST(TraceIoV2, AwkwardDoublesRoundTripBitExact) {
+  // Values chosen to expose precision loss under %.6g-style formatting: a
+  // denormal, an irrational fraction, and a value with a long tail.
+  TrafficTrace t;
+  t.num_nodes = 3;
+  t.snapshots.push_back(DemandMatrix::sparse(
+      3, {0, 2, 5},
+      {5e-324, 0.1 + 0.2, 1.0000000000000002}));
+  expect_round_trip_bit_exact(t);
+}
+
+TEST(TraceIoV2, RejectsMalformedRows) {
+  // Unknown tag.
+  std::stringstream bad_tag("figret-trace,v2,3\nx,1:2\n");
+  EXPECT_THROW(load_trace(bad_tag), std::runtime_error);
+  // Pair index out of range (3 nodes => pairs 0..5).
+  std::stringstream bad_pair("figret-trace,v2,3\ns,6:1.0\n");
+  EXPECT_THROW(load_trace(bad_pair), std::runtime_error);
+  // Unsorted / duplicate keys.
+  std::stringstream unsorted("figret-trace,v2,3\ns,3:1.0,1:2.0\n");
+  EXPECT_THROW(load_trace(unsorted), std::runtime_error);
+  std::stringstream dup("figret-trace,v2,3\ns,3:1.0,3:2.0\n");
+  EXPECT_THROW(load_trace(dup), std::runtime_error);
+  // Missing value / bad cell syntax.
+  std::stringstream no_colon("figret-trace,v2,3\ns,3\n");
+  EXPECT_THROW(load_trace(no_colon), std::runtime_error);
+  std::stringstream neg("figret-trace,v2,3\ns,3:-1.0\n");
+  EXPECT_THROW(load_trace(neg), std::runtime_error);
+  // Dense v2 row with the wrong column count.
+  std::stringstream ragged("figret-trace,v2,3\nd,1,2,3\n");
+  EXPECT_THROW(load_trace(ragged), std::runtime_error);
 }
 
 }  // namespace
