@@ -23,10 +23,12 @@
 #include <sstream>
 #include <thread>
 
+#include "net/fabric.h"
 #include "net/racke_paths.h"
 #include "net/topology.h"
 #include "net/yen.h"
 #include "nn/serialize.h"
+#include "te/chaos.h"
 #include "te/cope.h"
 #include "te/figret.h"
 #include "te/harness.h"
@@ -82,7 +84,18 @@ void print_usage(std::ostream& os) {
       "  --oracle    per-snapshot omniscient LP normalizer\n"
       "  --drop      drop snapshots on backpressure instead of retrying\n"
       "  --monitor   run the retraining drift monitor on the stream\n"
-      "  --json      path to write serve stats as JSON\n";
+      "  --json      path to write serve stats as JSON\n"
+      "  --solver-deadline-ms  wall-clock budget per oracle resolve (0 = off)\n"
+      "  --fallback  last-good | uniform | none      (default last-good)\n"
+      "              ladder for rejected advisor outputs: none disables\n"
+      "              output validation entirely\n"
+      "  --chaos     seed-driven fault schedule, e.g.\n"
+      "              --chaos intensity=0.2  or\n"
+      "              --chaos seed=7,fail=0.1,repair=4,overrun=0.2,corrupt=0.1\n"
+      "              (keys: seed fail repair maxrepair maxfail overrun stall\n"
+      "              stallms corrupt demand burst intensity). Replaces the\n"
+      "              paced feed with a deterministic chaos soak and prints a\n"
+      "              recovery report.\n";
 }
 
 /// Thrown for malformed invocations (unknown flag/subcommand, bad value):
@@ -101,7 +114,8 @@ void validate(const util::Args& args) {
       args.expect_only({"topology", "nodes", "traffic", "snapshots", "scheme",
                         "epochs", "history", "robust-weight", "racke", "seed",
                         "rate", "burst", "jitter", "workers", "slo-ms", "ring",
-                        "table", "oracle", "drop", "monitor", "json", "help"});
+                        "table", "oracle", "drop", "monitor", "json",
+                        "solver-deadline-ms", "fallback", "chaos", "help"});
     } else {
       args.expect_only({"topology", "nodes", "traffic", "snapshots", "scheme",
                         "epochs", "history", "robust-weight", "racke",
@@ -243,6 +257,21 @@ int run_serve(const util::Args& args) {
   std::size_t workers = flag_size(args, "workers", 2);
   if (workers == 0) workers = util::default_threads();
 
+  // Validate ladder/chaos flags before any training happens, so a typo
+  // fails in milliseconds, not after a fit.
+  const std::string fallback = args.get_or("fallback", "last-good");
+  if (fallback != "last-good" && fallback != "uniform" && fallback != "none")
+    throw UsageError("unknown --fallback " + fallback +
+                     " (last-good | uniform | none)");
+  std::optional<te::ChaosOptions> chaos_opt;
+  if (const auto spec = args.get("chaos")) {
+    try {
+      chaos_opt = te::parse_chaos_spec(*spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+  }
+
   // Advisors learn on the chronological training split; the stream replays
   // the held-out test split (the paper's Eq. 1 information model).
   const auto split = trace.split(0.75);
@@ -295,10 +324,76 @@ int run_serve(const util::Args& args) {
   lopt.oracle = flag_bool(args, "oracle");
   lopt.wcmp_table_size =
       static_cast<std::uint32_t>(flag_size(args, "table", 16));
+  lopt.solver_deadline_seconds =
+      flag_double(args, "solver-deadline-ms", 0.0) * 1e-3;
+  if (fallback == "none") lopt.validate_outputs = false;
+  if (fallback == "uniform") lopt.fallback_last_good = false;
+
+  std::optional<te::ChaosEngine> chaos;
+  if (chaos_opt) {
+    chaos.emplace(paths, net::node_domains(graph), *chaos_opt,
+                  static_cast<std::uint32_t>(begin),
+                  static_cast<std::uint32_t>(trace.size()));
+    lopt.chaos = &*chaos;
+  }
   te::ServingLoop loop(paths, trace, lopt);
 
   std::vector<te::TeScheme*> advisors;
   for (const auto& s : schemes) advisors.push_back(s.get());
+
+  if (chaos) {
+    // Chaos soak: the engine's driver replaces the paced feed — every epoch
+    // submitted exactly once, failure masks swapped at scheduled boundaries.
+    const te::ChaosRunReport rep =
+        te::run_chaos_serving(loop, *chaos, advisors);
+    const auto& sum = chaos->summary();
+    std::cout << "chaos serve: " << schemes.front()->name() << " on "
+              << graph.num_nodes() << " nodes; epochs [" << begin << ", "
+              << trace.size() << "), " << workers << " workers, seed "
+              << chaos->options().seed << "\n"
+              << "schedule: " << sum.failure_events << " failure events, "
+              << sum.masked_epochs << " masked epochs, " << sum.overruns
+              << " overruns, " << sum.corrupt_outputs << " corrupt outputs, "
+              << sum.corrupt_demands << " corrupt demands, " << sum.stalls
+              << " stalls, " << sum.bursts << " bursts\n"
+              << "served " << rep.served << ": rungs fresh=" << rep.rungs[0]
+              << " last-good=" << rep.rungs[1] << " uniform=" << rep.rungs[2]
+              << "; degraded epochs " << rep.degraded_epochs
+              << ", max recovery " << rep.max_recovery_epochs << " epochs\n"
+              << "MLU mean: healthy " << rep.mlu_healthy_mean << ", degraded "
+              << rep.mlu_degraded_mean << "; dropped demand "
+              << rep.dropped_demand_total << "\n"
+              << "determinism hash " << rep.determinism_hash
+              << (rep.all_finite ? "; all weights finite\n"
+                                 : "; NON-FINITE OUTPUT SERVED\n");
+    loop.stats().print(std::cout);
+    if (const auto path = args.get("json")) {
+      util::Json j = util::Json::object();
+      j.set("scheme", schemes.front()->name())
+          .set("workers", static_cast<std::int64_t>(workers))
+          .set("served", static_cast<std::int64_t>(rep.served))
+          .set("rung_fresh", static_cast<std::int64_t>(rep.rungs[0]))
+          .set("rung_last_good", static_cast<std::int64_t>(rep.rungs[1]))
+          .set("rung_uniform", static_cast<std::int64_t>(rep.rungs[2]))
+          .set("degraded_epochs",
+               static_cast<std::int64_t>(rep.degraded_epochs))
+          .set("max_recovery_epochs",
+               static_cast<std::int64_t>(rep.max_recovery_epochs))
+          .set("mlu_healthy_mean", rep.mlu_healthy_mean)
+          .set("mlu_degraded_mean", rep.mlu_degraded_mean)
+          .set("dropped_demand", rep.dropped_demand_total)
+          .set("invalid_outputs",
+               static_cast<std::int64_t>(rep.stats.invalid_outputs))
+          .set("oracle_retries",
+               static_cast<std::int64_t>(rep.stats.oracle_retries))
+          .set("determinism_hash", std::to_string(rep.determinism_hash))
+          .set("all_finite", rep.all_finite);
+      j.write_file(*path, 2);
+      std::cout << "stats written to " << *path << "\n";
+    }
+    return rep.all_finite ? 0 : 1;
+  }
+
   loop.start(advisors);
 
   std::optional<te::RetrainMonitor> monitor;

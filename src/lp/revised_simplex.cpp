@@ -1,6 +1,7 @@
 #include "lp/revised_simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <utility>
@@ -131,6 +132,14 @@ class RevisedSimplex {
 
   LpResult run(WarmStart* warm, SolveStats* stats) {
     LpResult result;
+    start_ = std::chrono::steady_clock::now();
+    if (opt_.simplex.time_limit_seconds < 0.0) {
+      // Pre-expired budget: the deterministic overrun-injection hook. Bail
+      // before warm-start priming so the retry attempt sees an untouched
+      // handle (no phantom hit/miss accounting).
+      result.status = Status::kDeadline;
+      return finish(result, warm, stats);
+    }
     const WarmPrime prime = try_warm_start(warm);
 
     if (prime == WarmPrime::kCold) {
@@ -168,6 +177,13 @@ class RevisedSimplex {
       stats_.dual_simplex_used = true;
       cost_ = obj_;
       const Status dst = dual_iterate();
+      if (dst == Status::kDeadline) {
+        // Out of budget, not out of luck: the warm basis stayed healthy, so
+        // a cold retry would just spend the same time again. Surface the
+        // typed verdict and let the caller decide on a fresh budget.
+        result.status = dst;
+        return finish(result, warm, stats);
+      }
       if (dst != Status::kOptimal) {
         dual_collapsed_ = true;
         if (stats_.fallback == WarmFallback::kNone)
@@ -388,6 +404,7 @@ class RevisedSimplex {
     for (;;) {
       if (iterations_ >= opt_.simplex.max_iterations)
         return Status::kIterationLimit;
+      if (deadline_exceeded()) return Status::kDeadline;
       const bool bland = iterations_ >= opt_.simplex.bland_after;
 
       // Pricing: y = c_B' B^{-1} (BTRAN), then reduced costs column by
@@ -576,6 +593,7 @@ class RevisedSimplex {
     for (;;) {
       if (iterations_ >= opt_.simplex.max_iterations)
         return Status::kIterationLimit;
+      if (deadline_exceeded()) return Status::kDeadline;
       const bool bland = iterations_ >= opt_.simplex.bland_after;
 
       // Leaving row: the largest bound violation among basic variables.
@@ -752,8 +770,19 @@ class RevisedSimplex {
 
   LpResult finish(LpResult& result, WarmStart*, SolveStats* stats) {
     result.iterations = iterations_;
+    if (result.status == Status::kDeadline) stats_.deadline_hit = true;
     if (stats) *stats = stats_;
     return std::move(result);
+  }
+
+  // Samples the wall clock every 64 pivots; overshoot past the budget is
+  // bounded by one sampling stride.
+  bool deadline_exceeded() {
+    if (opt_.simplex.time_limit_seconds <= 0.0) return false;
+    if ((++deadline_probe_ & 63u) != 0) return false;
+    const std::chrono::duration<double> spent =
+        std::chrono::steady_clock::now() - start_;
+    return spent.count() > opt_.simplex.time_limit_seconds;
   }
 
   SolverOptions opt_;
@@ -779,6 +808,8 @@ class RevisedSimplex {
   std::size_t iterations_ = 0;
   bool singular_ = false;
   bool dual_collapsed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  std::uint32_t deadline_probe_ = 0;
   SolveStats stats_;
 };
 

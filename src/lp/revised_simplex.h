@@ -81,6 +81,12 @@ struct SolveStats {
   /// The warm basis was primal-infeasible and the dual simplex re-optimized
   /// it (implies warm_start_used when the solve finished warm).
   bool dual_simplex_used = false;
+  /// The wall-clock budget (SolveOptions::time_limit_seconds) expired and
+  /// the solve returned Status::kDeadline. Never triggers a cold retry —
+  /// the budget is a hard ceiling on this attempt, and retry policy belongs
+  /// to the caller (te::ServingLoop backs off and retries with a fresh
+  /// budget).
+  bool deadline_hit = false;
   /// A refactorization found the basis numerically singular mid-solve. The
   /// solve then reports kIterationLimit (the conservative verdict — there is
   /// no dedicated Status for numerical failure yet); this flag tells the

@@ -1,7 +1,9 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace figret::lp {
@@ -46,6 +48,8 @@ const char* to_string(Status status) noexcept {
       return "unbounded";
     case Status::kIterationLimit:
       return "iteration limit";
+    case Status::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }
@@ -145,6 +149,12 @@ class Simplex {
 
   LpResult run() {
     LpResult result;
+    start_ = std::chrono::steady_clock::now();
+    if (opt_.time_limit_seconds < 0.0) {
+      // Pre-expired budget: the deterministic overrun-injection hook.
+      result.status = Status::kDeadline;
+      return result;
+    }
 
     // Phase 1: minimize the sum of artificial variables.
     if (art_begin_ < n_total_) {
@@ -248,6 +258,7 @@ class Simplex {
   Status iterate(bool phase1) {
     for (;;) {
       if (iterations_ >= opt_.max_iterations) return Status::kIterationLimit;
+      if (deadline_exceeded()) return Status::kDeadline;
       const bool bland = iterations_ >= opt_.bland_after;
 
       // Pricing: most negative reduced cost (Dantzig) or first (Bland).
@@ -346,6 +357,16 @@ class Simplex {
     if (b_[r] < 0.0 && b_[r] > -clamp_) b_[r] = 0.0;
   }
 
+  // Samples the wall clock every 64 pivots; overshoot past the budget is
+  // bounded by one sampling stride.
+  bool deadline_exceeded() {
+    if (opt_.time_limit_seconds <= 0.0) return false;
+    if ((++deadline_probe_ & 63u) != 0) return false;
+    const std::chrono::duration<double> spent =
+        std::chrono::steady_clock::now() - start_;
+    return spent.count() > opt_.time_limit_seconds;
+  }
+
   // After phase 1, pivot any artificial still in the basis (necessarily at
   // value ~0) out of it, or record that its row is redundant.
   void expel_artificials() {
@@ -391,6 +412,8 @@ class Simplex {
   double cost_const_ = 0.0;
   double z_ = 0.0;
   std::size_t iterations_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  std::uint32_t deadline_probe_ = 0;
 };
 
 }  // namespace

@@ -25,7 +25,20 @@ inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 enum class Relation { kLessEq, kEq, kGreaterEq };
 
-enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  /// The wall-clock budget (SolveOptions::time_limit_seconds) expired. A
+  /// typed partial verdict, not an exception: the basis reached so far is
+  /// discarded and `x` stays empty, but callers can distinguish "ran out of
+  /// time" from "the LP is bad" and retry with a fresh budget.
+  kDeadline,
+};
+
+/// Number of Status values, for per-reason counter arrays.
+inline constexpr std::size_t kStatusCount = 5;
 
 /// Human-readable status name, for error messages surfaced by callers.
 const char* to_string(Status status) noexcept;
@@ -90,6 +103,12 @@ struct SolveOptions {
   std::size_t bland_after = 20000;
   double pivot_tolerance = 1e-9;
   double feasibility_tolerance = 1e-7;
+  /// Wall-clock budget per solve attempt. 0 disables the deadline. The clock
+  /// is sampled every few dozen pivots, so overshoot is bounded by a handful
+  /// of pivot times. A *negative* budget means "already expired": the solve
+  /// returns kDeadline before its first pivot — the deterministic
+  /// fault-injection hook used by te/chaos.h to simulate solver overruns.
+  double time_limit_seconds = 0.0;
 };
 
 struct LpResult {

@@ -251,4 +251,73 @@ std::vector<std::vector<Path>> clos_pod_paths(const ClosPod& cp,
   return out;
 }
 
+std::vector<FailureDomain> link_domains(const Graph& g) {
+  std::vector<FailureDomain> out;
+  std::vector<bool> seen(g.num_edges(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (seen[e]) continue;
+    const Edge& arc = g.edge(e);
+    FailureDomain d;
+    d.name = "link " + std::to_string(arc.src) + "-" + std::to_string(arc.dst);
+    d.edges.push_back(e);
+    seen[e] = true;
+    const EdgeId rev = g.find_edge(arc.dst, arc.src);
+    if (rev != g.num_edges() && !seen[rev]) {
+      d.edges.push_back(rev);
+      seen[rev] = true;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<FailureDomain> node_domains(const Graph& g) {
+  std::vector<FailureDomain> out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    out[v].name = "node " + std::to_string(v);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& arc = g.edge(e);
+    out[arc.src].edges.push_back(e);
+    out[arc.dst].edges.push_back(e);
+  }
+  return out;
+}
+
+std::vector<FailureDomain> fat_tree_pod_domains(const FatTree& ft) {
+  const Graph& g = ft.graph;
+  const std::size_t h = ft.half();
+  std::vector<FailureDomain> out(ft.num_pods());
+  for (std::size_t p = 0; p < ft.num_pods(); ++p) {
+    out[p].name = "pod " + std::to_string(p);
+    for (std::size_t a = 0; a < h; ++a) {
+      const NodeId agg = ft.agg_sw(p, a);
+      for (std::size_t j = 0; j < h; ++j) {
+        const NodeId core = ft.core_sw(a, j);
+        const EdgeId up = g.find_edge(agg, core);
+        const EdgeId down = g.find_edge(core, agg);
+        if (up != g.num_edges()) out[p].edges.push_back(up);
+        if (down != g.num_edges()) out[p].edges.push_back(down);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FailureDomain> clos_spine_domains(const ClosPod& cp) {
+  const Graph& g = cp.graph;
+  std::vector<FailureDomain> out(cp.spines);
+  for (std::size_t s = 0; s < cp.spines; ++s) {
+    out[s].name = "spine " + std::to_string(s);
+    const NodeId spine = cp.spine(s);
+    for (std::size_t t = 0; t < cp.tors; ++t) {
+      const NodeId tor = cp.tor(t);
+      const EdgeId up = g.find_edge(tor, spine);
+      const EdgeId down = g.find_edge(spine, tor);
+      if (up != g.num_edges()) out[s].edges.push_back(up);
+      if (down != g.num_edges()) out[s].edges.push_back(down);
+    }
+  }
+  return out;
+}
+
 }  // namespace figret::net

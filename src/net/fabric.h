@@ -17,11 +17,33 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "net/graph.h"
 
 namespace figret::net {
+
+/// A shared-risk group of arcs that fail (and repair) together: a physical
+/// link takes both of its directed arcs down, a device takes every arc it
+/// touches, a pod or spine takes its whole uplink bundle. The chaos engine
+/// (te/chaos.h) schedules correlated failure bursts at domain granularity —
+/// failing independent arcs would miss exactly the correlated events that
+/// break proportional rerouting in practice.
+struct FailureDomain {
+  std::string name;            // "link 3-7", "node 12", "pod 2", ...
+  std::vector<EdgeId> edges;   // arcs down while this domain is failed
+};
+
+/// One domain per undirected physical link: the arc and (when present) its
+/// reverse. Deterministic order: by the smaller arc id of each pair.
+std::vector<FailureDomain> link_domains(const Graph& g);
+
+/// One domain per node: every arc into or out of it (device failure). Note a
+/// node domain usually disconnects that node's own pairs — callers that need
+/// reachability should budget for dropped demand.
+std::vector<FailureDomain> node_domains(const Graph& g);
+
 
 /// A k-ary fat tree (k even): k pods of k/2 edge + k/2 aggregation switches
 /// and (k/2)^2 cores, 5k^2/4 switches and k^3 arcs total. Core group g holds
@@ -84,5 +106,14 @@ ClosPod clos_pod(std::size_t tors, std::size_t spines, double capacity = 1.0);
 /// spread across up to `per_pair_limit` distinct spines).
 std::vector<std::vector<Path>> clos_pod_paths(const ClosPod& cp,
                                               std::size_t per_pair_limit = 4);
+
+/// Fat tree, SRLG at pod granularity: domain p holds every agg-core arc of
+/// pod p (both directions) — the pod keeps intra-pod connectivity but loses
+/// its core uplinks, the classic correlated mid-tier failure.
+std::vector<FailureDomain> fat_tree_pod_domains(const FatTree& ft);
+
+/// Leaf-spine, SRLG at spine granularity: domain s holds every ToR arc of
+/// spine s (both directions).
+std::vector<FailureDomain> clos_spine_domains(const ClosPod& cp);
 
 }  // namespace figret::net

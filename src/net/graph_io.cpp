@@ -1,23 +1,147 @@
 #include "net/graph_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace figret::net {
 namespace {
 
 constexpr const char* kHeaderPrefix = "figret-graph,v1,";
 
-std::runtime_error parse_error(std::size_t line_no, const char* what) {
-  return std::runtime_error("load_graph: " + std::string(what) + " at line " +
-                            std::to_string(line_no));
+void fail(GraphLoadResult& result, GraphIoError err, std::size_t line_no) {
+  result.error = err;
+  result.line = line_no;
+}
+
+GraphLoadResult load_impl(std::istream& is) {
+  GraphLoadResult result;
+  std::string line;
+  if (!std::getline(is, line)) {
+    fail(result, is.bad() ? GraphIoError::kTruncated
+                          : GraphIoError::kEmptyInput,
+         0);
+    return result;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.rfind(kHeaderPrefix, 0) != 0) {
+    fail(result, GraphIoError::kBadHeader, 1);
+    return result;
+  }
+  std::size_t n = 0;
+  {
+    const std::string tail = line.substr(std::string(kHeaderPrefix).size());
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), n);
+    // Full-consume: "figret-graph,v1,12garbage" is a damaged header, not a
+    // 12-node topology.
+    if (ec != std::errc{} || ptr != tail.data() + tail.size() || n == 0 ||
+        n > kMaxGraphNodes) {
+      fail(result, GraphIoError::kBadNodeCount, 1);
+      return result;
+    }
+  }
+
+  result.graph = Graph(n);
+  // Arc keys already seen — a duplicate (src, dst) line is a damaged file,
+  // and silently accepting it would double capacity via parallel arcs.
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    const char* begin = line.data();
+    const char* end = line.data() + line.size();
+    NodeId src = 0, dst = 0;
+    double cap = 0.0;
+
+    auto [p1, e1] = std::from_chars(begin, end, src);
+    if (e1 != std::errc{} || p1 == end || *p1 != ',') {
+      fail(result, GraphIoError::kBadSource, line_no);
+      return result;
+    }
+    auto [p2, e2] = std::from_chars(p1 + 1, end, dst);
+    if (e2 != std::errc{} || p2 == end || *p2 != ',') {
+      fail(result, GraphIoError::kBadDestination, line_no);
+      return result;
+    }
+    auto [p3, e3] = std::from_chars(p2 + 1, end, cap);
+    if (e3 != std::errc{} || p3 != end) {
+      fail(result, GraphIoError::kBadCapacity, line_no);
+      return result;
+    }
+    // from_chars accepts "inf"/"nan" spellings, and both sail straight
+    // through a `cap <= 0` check (NaN compares false) — reject explicitly.
+    if (!std::isfinite(cap)) {
+      fail(result, GraphIoError::kNonFiniteCapacity, line_no);
+      return result;
+    }
+    if (cap <= 0.0) {
+      fail(result, GraphIoError::kNonPositiveCapacity, line_no);
+      return result;
+    }
+    if (src >= n || dst >= n) {
+      fail(result, GraphIoError::kNodeOutOfRange, line_no);
+      return result;
+    }
+    if (src == dst) {
+      fail(result, GraphIoError::kSelfLoop, line_no);
+      return result;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+    if (!seen.insert(key).second) {
+      fail(result, GraphIoError::kDuplicateArc, line_no);
+      return result;
+    }
+    result.graph.add_edge(src, dst, cap);
+  }
+  if (is.bad()) fail(result, GraphIoError::kTruncated, line_no);
+  return result;
 }
 
 }  // namespace
+
+const char* to_string(GraphIoError err) noexcept {
+  switch (err) {
+    case GraphIoError::kNone:
+      return "ok";
+    case GraphIoError::kOpenFailed:
+      return "cannot open file";
+    case GraphIoError::kEmptyInput:
+      return "empty input";
+    case GraphIoError::kBadHeader:
+      return "bad header";
+    case GraphIoError::kBadNodeCount:
+      return "bad node count in header";
+    case GraphIoError::kBadSource:
+      return "bad source node";
+    case GraphIoError::kBadDestination:
+      return "bad destination node";
+    case GraphIoError::kBadCapacity:
+      return "bad capacity";
+    case GraphIoError::kNonFiniteCapacity:
+      return "non-finite capacity";
+    case GraphIoError::kNonPositiveCapacity:
+      return "non-positive capacity";
+    case GraphIoError::kNodeOutOfRange:
+      return "node out of range";
+    case GraphIoError::kSelfLoop:
+      return "self-loop";
+    case GraphIoError::kDuplicateArc:
+      return "duplicate arc";
+    case GraphIoError::kTruncated:
+      return "stream truncated mid-read";
+  }
+  return "unknown";
+}
 
 void save_graph(const Graph& g, std::ostream& os) {
   os << kHeaderPrefix << g.num_nodes() << '\n';
@@ -33,55 +157,36 @@ void save_graph_file(const Graph& g, const std::string& path) {
   save_graph(g, out);
 }
 
+GraphLoadResult try_load_graph(std::istream& is) { return load_impl(is); }
+
+GraphLoadResult try_load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    GraphLoadResult result;
+    result.error = GraphIoError::kOpenFailed;
+    return result;
+  }
+  return load_impl(in);
+}
+
 Graph load_graph(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line))
-    throw std::runtime_error("load_graph: empty input");
-  if (line.rfind(kHeaderPrefix, 0) != 0)
-    throw std::runtime_error("load_graph: bad header");
-  std::size_t n = 0;
-  {
-    const std::string tail = line.substr(std::string(kHeaderPrefix).size());
-    const auto [ptr, ec] =
-        std::from_chars(tail.data(), tail.data() + tail.size(), n);
-    if (ec != std::errc{} || n == 0)
-      throw std::runtime_error("load_graph: bad node count in header");
-    (void)ptr;
-  }
-
-  Graph g(n);
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-
-    const char* begin = line.data();
-    const char* end = line.data() + line.size();
-    NodeId src = 0, dst = 0;
-    double cap = 0.0;
-
-    auto [p1, e1] = std::from_chars(begin, end, src);
-    if (e1 != std::errc{} || p1 == end || *p1 != ',')
-      throw parse_error(line_no, "bad source node");
-    auto [p2, e2] = std::from_chars(p1 + 1, end, dst);
-    if (e2 != std::errc{} || p2 == end || *p2 != ',')
-      throw parse_error(line_no, "bad destination node");
-    auto [p3, e3] = std::from_chars(p2 + 1, end, cap);
-    if (e3 != std::errc{} || p3 != end)
-      throw parse_error(line_no, "bad capacity");
-
-    if (src >= n || dst >= n) throw parse_error(line_no, "node out of range");
-    if (src == dst) throw parse_error(line_no, "self-loop");
-    if (cap <= 0.0) throw parse_error(line_no, "non-positive capacity");
-    g.add_edge(src, dst, cap);
-  }
-  return g;
+  GraphLoadResult result = try_load_graph(is);
+  if (!result.ok())
+    throw std::runtime_error(
+        "load_graph: " + std::string(to_string(result.error)) +
+        (result.line > 0 ? " at line " + std::to_string(result.line) : ""));
+  return std::move(result.graph);
 }
 
 Graph load_graph_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
-  return load_graph(in);
+  GraphLoadResult result = try_load_graph_file(path);
+  if (result.error == GraphIoError::kOpenFailed)
+    throw std::runtime_error("load_graph_file: cannot open " + path);
+  if (!result.ok())
+    throw std::runtime_error(
+        "load_graph: " + std::string(to_string(result.error)) +
+        (result.line > 0 ? " at line " + std::to_string(result.line) : ""));
+  return std::move(result.graph);
 }
 
 void write_dot(const Graph& g, std::ostream& os) {

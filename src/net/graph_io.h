@@ -4,8 +4,15 @@
 // distributed once flattened: a header "figret-graph,v1,<num_nodes>", then
 // one directed arc per line as "src,dst,capacity". An exporter to Graphviz
 // DOT is included for quick visual inspection of generated fabrics.
+//
+// Loading is hardened against hostile or damaged files: non-finite
+// capacities (std::from_chars parses "inf"/"nan"), duplicate arcs, header
+// garbage and absurd node counts, CRLF endings, and mid-read stream
+// failures all produce a *typed* verdict via try_load_graph; the
+// load_graph wrappers keep their historical throwing contract on top.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -13,12 +20,52 @@
 
 namespace figret::net {
 
+/// Why a graph failed to load (kNone: it did not).
+enum class GraphIoError : std::uint8_t {
+  kNone = 0,
+  kOpenFailed,           // file variant only: could not open the path
+  kEmptyInput,           // no header line at all
+  kBadHeader,            // header is not figret-graph,v1,<n>
+  kBadNodeCount,         // n unparsable, 0, > kMaxGraphNodes, or trailed by
+                         // garbage
+  kBadSource,            // src cell unparsable
+  kBadDestination,       // dst cell unparsable
+  kBadCapacity,          // capacity cell unparsable / trailing garbage
+  kNonFiniteCapacity,    // capacity parsed as inf/nan
+  kNonPositiveCapacity,  // capacity <= 0
+  kNodeOutOfRange,       // src or dst >= n
+  kSelfLoop,             // src == dst
+  kDuplicateArc,         // the same (src, dst) arc appeared twice
+  kTruncated,            // underlying stream failed mid-read (badbit)
+};
+const char* to_string(GraphIoError err) noexcept;
+inline constexpr std::size_t kGraphIoErrorCount = 14;
+
+/// Header node counts above this are rejected as corrupt — far beyond any
+/// fabric this library models, and enough to keep node-id arithmetic safe.
+inline constexpr std::size_t kMaxGraphNodes = 1u << 24;
+
+/// Non-throwing load verdict. On failure `graph` holds the arcs that parsed
+/// cleanly before the error.
+struct GraphLoadResult {
+  Graph graph;
+  GraphIoError error = GraphIoError::kNone;
+  /// 1-based line of the failure (0 when not line-specific).
+  std::size_t line = 0;
+  bool ok() const noexcept { return error == GraphIoError::kNone; }
+};
+
 /// Writes the arc list; throws std::runtime_error on I/O failure.
 void save_graph(const Graph& g, std::ostream& os);
 void save_graph_file(const Graph& g, const std::string& path);
 
 /// Reads a graph written by save_graph (or hand-authored in the same
-/// format). Throws std::runtime_error on malformed input.
+/// format), returning a typed verdict instead of throwing.
+GraphLoadResult try_load_graph(std::istream& is);
+GraphLoadResult try_load_graph_file(const std::string& path);
+
+/// Throwing wrappers over try_load_graph: std::runtime_error carrying the
+/// typed reason and line number in its message.
 Graph load_graph(std::istream& is);
 Graph load_graph_file(const std::string& path);
 

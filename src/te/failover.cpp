@@ -1,5 +1,6 @@
 #include "te/failover.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -26,10 +27,12 @@ TeConfig reroute(const PathSet& ps, const TeConfig& config,
 }
 
 void reroute_into(const PathSet& ps, const TeConfig& config,
-                  const std::vector<bool>& alive, TeConfig& out) {
+                  const std::vector<bool>& alive, TeConfig& out,
+                  RerouteStats* stats) {
   if (config.size() != ps.num_paths() || alive.size() != ps.num_paths())
     throw std::invalid_argument("reroute: size mismatch");
   out.assign(ps.num_paths(), 0.0);
+  RerouteStats local;
   for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
     const std::size_t begin = ps.pair_begin(pr);
     const std::size_t end = ps.pair_end(pr);
@@ -40,8 +43,19 @@ void reroute_into(const PathSet& ps, const TeConfig& config,
       alive_weight += config[p];
       ++alive_count;
     }
-    if (alive_count == 0) continue;  // pair disconnected; ratios stay 0
-    if (alive_weight > 1e-12) {
+    if (alive_count == 0) {
+      // Pair disconnected: ratios stay 0 and the demand is dropped — never
+      // renormalize toward the zero denominator of an all-dead pair.
+      ++local.disconnected_pairs;
+      double pair_weight = 0.0;
+      for (std::size_t p = begin; p < end; ++p) pair_weight += config[p];
+      if (std::isfinite(pair_weight) && pair_weight > 0.0)
+        local.dropped_weight += pair_weight;
+      continue;
+    }
+    // A non-finite sum (corrupt upstream config) would poison every ratio in
+    // the proportional branch; the equal split is the safe landing.
+    if (std::isfinite(alive_weight) && alive_weight > 1e-12) {
       // Proportional redistribution: (0.5, 0.3, 0.2) with path 0 failed
       // becomes (0, 0.6, 0.4).
       for (std::size_t p = begin; p < end; ++p)
@@ -53,6 +67,23 @@ void reroute_into(const PathSet& ps, const TeConfig& config,
       for (std::size_t p = begin; p < end; ++p)
         if (alive[p]) out[p] = u;
     }
+  }
+  if (stats) *stats = local;
+}
+
+void disconnected_pairs_into(const PathSet& ps, const std::vector<bool>& alive,
+                             std::vector<std::uint32_t>& out) {
+  if (alive.size() != ps.num_paths())
+    throw std::invalid_argument("disconnected_pairs: size mismatch");
+  out.clear();
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    bool any = false;
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      if (alive[p]) {
+        any = true;
+        break;
+      }
+    if (!any) out.push_back(static_cast<std::uint32_t>(pr));
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "te/chaos.h"
 #include "te/failover.h"
 #include "te/lp_schemes.h"
 #include "te/mlu.h"
@@ -140,9 +141,14 @@ void ServingLoop::finish() {
 void ServingLoop::install_failures(const std::vector<net::EdgeId>& failed) {
   auto alive = std::make_shared<const std::vector<bool>>(
       surviving_paths(*ps_, failed));
+  // Pairs with zero surviving paths are priced as dropped demand rather than
+  // silently rerouted (the §4.5 all-paths-dead edge case).
+  auto dead = std::make_shared<std::vector<std::uint32_t>>();
+  disconnected_pairs_into(*ps_, *alive, *dead);
   {
     std::lock_guard<std::mutex> lock(failure_mu_);
     failure_alive_ = std::move(alive);
+    failure_dead_pairs_ = std::move(dead);
     failure_epoch_.fetch_add(1, std::memory_order_release);
   }
   stats_.failure_epochs.fetch_add(1, std::memory_order_relaxed);
@@ -152,6 +158,7 @@ void ServingLoop::clear_failures() {
   {
     std::lock_guard<std::mutex> lock(failure_mu_);
     failure_alive_.reset();
+    failure_dead_pairs_.reset();
     failure_epoch_.fetch_add(1, std::memory_order_release);
   }
   stats_.failure_epochs.fetch_add(1, std::memory_order_relaxed);
@@ -164,6 +171,7 @@ void ServingLoop::refresh_failures(Worker& w) {
     return;
   std::lock_guard<std::mutex> lock(failure_mu_);
   w.alive = failure_alive_;
+  w.dead_pairs = failure_dead_pairs_;
   w.failure_epoch_seen = failure_epoch_.load(std::memory_order_relaxed);
 }
 
@@ -196,15 +204,62 @@ void ServingLoop::process_snapshot(Worker& w, const Job& job) {
   refresh_failures(w);
 
   const std::size_t t = job.index;
+  const ChaosEngine* chaos = opt_.chaos;
+  const EpochPlan* plan = nullptr;
+  if (chaos != nullptr && job.index >= chaos->begin() &&
+      job.index < chaos->end())
+    plan = &chaos->plan(job.index);
+
+  if (plan != nullptr && plan->stall) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(chaos->stall_seconds()));
+    stats_.chaos_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const TeConfig* served = &uniform_;
+  FallbackRung rung = FallbackRung::kFresh;
 
   if (opt_.infer) {
     const auto start = Clock::now();
     const std::span<const traffic::DemandMatrix> history{
         trace_->snapshots.data() + (t - w.window), w.window};
-    w.advisor->advise_into(history, w.cfg);
+    bool advise_ok = true;
+    try {
+      if (plan != nullptr && plan->corrupt_demand) {
+        // The advisor sees a corrupted copy of its newest input snapshot.
+        w.history_scratch.assign(history.begin(), history.end());
+        chaos->corrupt_demand_into(job.index, history[w.window - 1],
+                                   w.history_scratch[w.window - 1]);
+        w.advisor->advise_into(
+            std::span<const traffic::DemandMatrix>(w.history_scratch.data(),
+                                                   w.window),
+            w.cfg);
+      } else {
+        w.advisor->advise_into(history, w.cfg);
+      }
+    } catch (...) {
+      // A scheme may legitimately blow up on corrupted inputs; with the
+      // ladder on, that is just another invalid output. Without validation
+      // the historical contract holds: the exception surfaces on finish().
+      if (!opt_.validate_outputs) throw;
+      advise_ok = false;
+    }
+    if (advise_ok && plan != nullptr) chaos->corrupt_config(job.index, w.cfg);
     r.infer_seconds = seconds_since(start, Clock::now());
     served = &w.cfg;
+
+    if (opt_.validate_outputs && (!advise_ok || !config_servable(w.cfg))) {
+      stats_.invalid_outputs.fetch_add(1, std::memory_order_relaxed);
+      served = fallback_config(w, job.index, rung);
+    } else if (opt_.validate_outputs && opt_.fallback_last_good &&
+               (plan == nullptr ? chaos == nullptr : plan->clean())) {
+      // Bank this epoch as a rung-1 donor. Under chaos only clean() epochs
+      // qualify — and the donor a degraded epoch resolves to is pinned by
+      // last_clean_before, so the cache is keyed by the donor index.
+      w.last_good_cfg = w.cfg;
+      w.last_good_index = job.index;
+      w.has_last_good = true;
+    }
   }
 
   if (opt_.install) {
@@ -225,6 +280,15 @@ void ServingLoop::process_snapshot(Worker& w, const Job& job) {
   if (w.alive) {
     reroute_into(*ps_, *served, *w.alive, w.rerouted);
     served = &w.rerouted;
+    if (w.dead_pairs && !w.dead_pairs->empty()) {
+      const auto& dm = (*trace_)[t];
+      double dropped = 0.0;
+      for (const std::uint32_t pr : *w.dead_pairs) dropped += dm[pr];
+      if (dropped > 0.0) {
+        r.dropped_demand = dropped;
+        stats_.dropped_pair_snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   r.serve_seconds = seconds_since(job.enqueued, Clock::now());
@@ -237,20 +301,52 @@ void ServingLoop::process_snapshot(Worker& w, const Job& job) {
   if (opt_.oracle) {
     const auto start = Clock::now();
     const std::vector<bool>* alive = w.alive ? w.alive.get() : nullptr;
-    const MluLpResult res = solve_mlu_lp(*ps_, (*trace_)[t], nullptr, alive,
-                                         &opt_.solver, &w.warm);
+    lp::SolverOptions sopts = opt_.solver;
+    if (opt_.solver_deadline_seconds > 0.0)
+      sopts.simplex.time_limit_seconds = opt_.solver_deadline_seconds;
+    const std::size_t max_attempts = 1 + opt_.oracle_retries;
+    double backoff = opt_.oracle_backoff_seconds;
+    MluLpResult res;
+    std::size_t attempt = 0;
+    for (;; ++attempt) {
+      lp::SolverOptions cur = sopts;
+      // Injected deadline overrun: the first attempt's budget is already
+      // expired, so it returns kDeadline before its first pivot and the
+      // backoff+retry path runs deterministically.
+      if (plan != nullptr && plan->overrun && attempt == 0)
+        cur.simplex.time_limit_seconds = -1.0;
+      res = solve_mlu_lp(*ps_, (*trace_)[t], nullptr, alive, &cur, &w.warm);
+      if (res.optimal() || attempt + 1 >= max_attempts) break;
+      stats_.oracle_attempt_failures[static_cast<std::size_t>(res.status)]
+          .fetch_add(1, std::memory_order_relaxed);
+      stats_.oracle_retries.fetch_add(1, std::memory_order_relaxed);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(backoff, opt_.oracle_backoff_max_seconds)));
+        backoff *= 2.0;
+      }
+    }
     r.lp_seconds = seconds_since(start, Clock::now());
     r.lp_pivots = static_cast<std::uint32_t>(res.pivots);
+    r.lp_attempts =
+        static_cast<std::uint8_t>(std::min<std::size_t>(attempt + 1, 255));
     if (res.optimal()) {
+      if (attempt > 0)
+        stats_.oracle_retry_successes.fetch_add(1, std::memory_order_relaxed);
       r.oracle_mlu = res.mlu;
       const double denom = res.mlu > 1e-12 ? res.mlu : 1e-12;
       r.normalized = r.raw_mlu / denom;
     } else {
       // Streaming mode degrades gracefully: the snapshot is still served,
       // only its normalizer is missing.
+      stats_.oracle_attempt_failures[static_cast<std::size_t>(res.status)]
+          .fetch_add(1, std::memory_order_relaxed);
       stats_.oracle_failures.fetch_add(1, std::memory_order_relaxed);
     }
   }
+
+  r.rung = rung;
+  if (chaos != nullptr) r.config_hash = config_fingerprint(*served, rung);
 
   r.total_seconds = seconds_since(job.enqueued, Clock::now());
 
@@ -266,8 +362,47 @@ void ServingLoop::process_snapshot(Worker& w, const Job& job) {
   stats_.serve.record(r.serve_seconds);
   stats_.e2e.record(r.total_seconds);
   stats_.served.fetch_add(1, std::memory_order_relaxed);
+  stats_.fallback_rungs[static_cast<std::size_t>(rung)].fetch_add(
+      1, std::memory_order_relaxed);
   if (r.slo_violation)
     stats_.slo_violations.fetch_add(1, std::memory_order_relaxed);
+}
+
+const TeConfig* ServingLoop::fallback_config(Worker& w, std::uint32_t index,
+                                             FallbackRung& rung) {
+  if (opt_.fallback_last_good && opt_.infer) {
+    const ChaosEngine* chaos = opt_.chaos;
+    if (chaos != nullptr && index >= chaos->begin() && index < chaos->end()) {
+      // The donor epoch is a pure function of (schedule, index): every
+      // worker that lands on this degraded epoch recomputes the identical
+      // donor config, which is what keeps chaos runs bit-reproducible
+      // across worker counts.
+      const std::uint32_t lg = chaos->last_clean_before(index);
+      if (lg != ChaosEngine::kNoEpoch && lg >= w.window) {
+        if (!w.has_last_good || w.last_good_index != lg) {
+          const std::span<const traffic::DemandMatrix> donor{
+              trace_->snapshots.data() + (lg - w.window), w.window};
+          bool ok = true;
+          try {
+            w.advisor->advise_into(donor, w.last_good_cfg);
+          } catch (...) {
+            ok = false;
+          }
+          w.has_last_good = ok && config_servable(w.last_good_cfg);
+          w.last_good_index = lg;
+        }
+        if (w.has_last_good) {
+          rung = FallbackRung::kLastGood;
+          return &w.last_good_cfg;
+        }
+      }
+    } else if (w.has_last_good) {
+      rung = FallbackRung::kLastGood;
+      return &w.last_good_cfg;
+    }
+  }
+  rung = FallbackRung::kUniform;
+  return &uniform_;
 }
 
 void ServingLoop::aggregate_warm(const Worker& w) {

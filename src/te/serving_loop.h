@@ -47,6 +47,8 @@
 
 namespace figret::te {
 
+class ChaosEngine;  // te/chaos.h
+
 /// One served snapshot, published on the results ring. Plain data: ring
 /// slots are pre-allocated and publishing is a copy + sequence release.
 struct SnapshotResult {
@@ -71,6 +73,16 @@ struct SnapshotResult {
   double serve_seconds = 0.0;    // submit -> config installed (SLO quantity)
   double total_seconds = 0.0;    // submit -> result published
   bool slo_violation = false;
+  /// Which rung of the degradation ladder actually served this snapshot.
+  FallbackRung rung = FallbackRung::kFresh;
+  /// Oracle resolve attempts spent (1 = first try succeeded; 0 = oracle off).
+  std::uint8_t lp_attempts = 0;
+  /// Demand volume whose every candidate path was dead (dropped, §4.5 edge
+  /// case — priced, not silently rerouted).
+  double dropped_demand = 0.0;
+  /// config_fingerprint of the served config (0 unless chaos is attached) —
+  /// the cross-worker bit-reproducibility probe.
+  std::uint64_t config_hash = 0;
 };
 
 class ServingLoop {
@@ -97,6 +109,27 @@ class ServingLoop {
     std::uint32_t wcmp_table_size = 16;
     /// LP engine/knobs for oracle resolves.
     lp::SolverOptions solver;
+
+    // --- graceful degradation ----------------------------------------------
+    /// Reject advised configs carrying NaN/Inf/negative weights before
+    /// install and serve from a lower ladder rung instead.
+    bool validate_outputs = true;
+    /// Rung 1: re-serve the most recent known-good config (renormalized over
+    /// surviving paths on install). Off -> rejected outputs skip straight to
+    /// uniform ECMP.
+    bool fallback_last_good = true;
+    /// Wall-clock budget per oracle resolve attempt; 0 = no deadline. A
+    /// deadline hit returns a typed partial status (lp::Status::kDeadline)
+    /// instead of throwing — the snapshot still serves.
+    double solver_deadline_seconds = 0.0;
+    /// Retry attempts (beyond the first) for a failed oracle resolve, with
+    /// bounded exponential backoff between attempts.
+    std::size_t oracle_retries = 2;
+    double oracle_backoff_seconds = 0.0002;
+    double oracle_backoff_max_seconds = 0.005;
+    /// Optional fault-injection schedule (borrowed; must outlive the run).
+    /// Workers consult it read-only, keyed by trace index.
+    const ChaosEngine* chaos = nullptr;
   };
 
   /// Borrows `ps` and `trace` — both must outlive the loop.
@@ -198,7 +231,18 @@ class ServingLoop {
     WcmpScratch wcmp_scratch;
     std::vector<double> edge_scratch;
     std::shared_ptr<const std::vector<bool>> alive;
+    /// Pair ids with no surviving path under `alive` (same epoch swap).
+    std::shared_ptr<const std::vector<std::uint32_t>> dead_pairs;
     std::uint64_t failure_epoch_seen = 0;
+    /// Rung-1 cache: the most recent known-good advised config. Under chaos
+    /// the donor epoch is pinned by ChaosEngine::last_clean_before so every
+    /// worker recomputes the identical donor; without chaos it is simply the
+    /// last config that passed validation on this worker.
+    TeConfig last_good_cfg;
+    std::uint32_t last_good_index = 0xffffffffu;
+    bool has_last_good = false;
+    /// History copies used when chaos corrupts the advisor's input snapshot.
+    std::vector<traffic::DemandMatrix> history_scratch;
     std::thread thread;
   };
 
@@ -217,6 +261,10 @@ class ServingLoop {
 
   void worker_loop(Worker& w);
   void process_snapshot(Worker& w, const Job& job);
+  /// Steps the ladder down after a rejected advise: returns the config to
+  /// serve and sets `rung` (kLastGood when a donor exists, else kUniform).
+  const TeConfig* fallback_config(Worker& w, std::uint32_t index,
+                                  FallbackRung& rung);
   void refresh_failures(Worker& w);
   void run_batch(BatchState& bs, std::size_t chunk);
   void process_batch_chunk(Worker& w, BatchState& bs, std::size_t begin,
@@ -245,6 +293,8 @@ class ServingLoop {
 
   // Failure mask, swapped atomically-by-epoch (mask + epoch share the mutex).
   std::shared_ptr<const std::vector<bool>> failure_alive_;
+  /// Pairs with zero surviving paths under failure_alive_ (same epoch).
+  std::shared_ptr<const std::vector<std::uint32_t>> failure_dead_pairs_;
   std::atomic<std::uint64_t> failure_epoch_{0};
   std::mutex failure_mu_;
 

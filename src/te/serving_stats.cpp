@@ -6,6 +6,18 @@
 
 namespace figret::te {
 
+const char* to_string(FallbackRung rung) noexcept {
+  switch (rung) {
+    case FallbackRung::kFresh:
+      return "fresh";
+    case FallbackRung::kLastGood:
+      return "last-good";
+    case FallbackRung::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
 void ServingStats::reset() noexcept {
   queue.reset();
   infer.reset();
@@ -22,6 +34,13 @@ void ServingStats::reset() noexcept {
   warm_misses.store(0, std::memory_order_relaxed);
   for (auto& f : warm_fallbacks) f.store(0, std::memory_order_relaxed);
   failure_epochs.store(0, std::memory_order_relaxed);
+  for (auto& r : fallback_rungs) r.store(0, std::memory_order_relaxed);
+  invalid_outputs.store(0, std::memory_order_relaxed);
+  dropped_pair_snapshots.store(0, std::memory_order_relaxed);
+  oracle_retries.store(0, std::memory_order_relaxed);
+  oracle_retry_successes.store(0, std::memory_order_relaxed);
+  for (auto& f : oracle_attempt_failures) f.store(0, std::memory_order_relaxed);
+  chaos_stalls.store(0, std::memory_order_relaxed);
 }
 
 ServingStats::Snapshot ServingStats::snapshot() const {
@@ -37,6 +56,18 @@ ServingStats::Snapshot ServingStats::snapshot() const {
   for (std::size_t k = 0; k < lp::kWarmFallbackCount; ++k)
     s.warm_fallbacks[k] = warm_fallbacks[k].load(std::memory_order_relaxed);
   s.failure_epochs = failure_epochs.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kFallbackRungCount; ++k)
+    s.fallback_rungs[k] = fallback_rungs[k].load(std::memory_order_relaxed);
+  s.invalid_outputs = invalid_outputs.load(std::memory_order_relaxed);
+  s.dropped_pair_snapshots =
+      dropped_pair_snapshots.load(std::memory_order_relaxed);
+  s.oracle_retries = oracle_retries.load(std::memory_order_relaxed);
+  s.oracle_retry_successes =
+      oracle_retry_successes.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < lp::kStatusCount; ++k)
+    s.oracle_attempt_failures[k] =
+        oracle_attempt_failures[k].load(std::memory_order_relaxed);
+  s.chaos_stalls = chaos_stalls.load(std::memory_order_relaxed);
   s.serve_p50 = serve.percentile(50);
   s.serve_p99 = serve.percentile(99);
   s.serve_p999 = serve.percentile(99.9);
@@ -83,6 +114,25 @@ void ServingStats::print(std::ostream& os) const {
       if (s.warm_fallbacks[k] > 0)
         os << " " << lp::to_string(static_cast<lp::WarmFallback>(k)) << "="
            << s.warm_fallbacks[k];
+    os << "\n";
+  }
+  if (s.degraded() > 0 || s.invalid_outputs > 0 ||
+      s.dropped_pair_snapshots > 0 || s.chaos_stalls > 0) {
+    os << "degradation: rungs";
+    for (std::size_t k = 0; k < kFallbackRungCount; ++k)
+      os << " " << to_string(static_cast<FallbackRung>(k)) << "="
+         << s.fallback_rungs[k];
+    os << "; invalid outputs " << s.invalid_outputs
+       << "; dropped pair-snapshots " << s.dropped_pair_snapshots
+       << "; chaos stalls " << s.chaos_stalls << "\n";
+  }
+  if (s.oracle_retries > 0) {
+    os << "oracle retries " << s.oracle_retries << " (recovered "
+       << s.oracle_retry_successes << "); failed attempts by reason:";
+    for (std::size_t k = 0; k < lp::kStatusCount; ++k)
+      if (s.oracle_attempt_failures[k] > 0)
+        os << " " << lp::to_string(static_cast<lp::Status>(k)) << "="
+           << s.oracle_attempt_failures[k];
     os << "\n";
   }
 }

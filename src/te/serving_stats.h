@@ -9,10 +9,27 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "lp/simplex.h"
 #include "lp/warm_start.h"
 #include "util/latency.h"
 
 namespace figret::te {
+
+/// The serving loop's graceful-degradation ladder. Every served snapshot
+/// comes from exactly one rung:
+///  * kFresh — this epoch's advise passed output validation;
+///  * kLastGood — the advise was rejected (non-finite / negative weights),
+///    the most recent known-good config is re-served and renormalized over
+///    the surviving paths on install;
+///  * kUniform — no known-good config either: uniform ECMP over surviving
+///    paths, the unconditional floor that needs no model and no history.
+enum class FallbackRung : std::uint8_t {
+  kFresh = 0,
+  kLastGood = 1,
+  kUniform = 2,
+};
+inline constexpr std::size_t kFallbackRungCount = 3;
+const char* to_string(FallbackRung rung) noexcept;
 
 struct ServingStats {
   // --- per-stage latency (seconds) -----------------------------------------
@@ -44,6 +61,27 @@ struct ServingStats {
   /// Times a failure mask was installed/cleared mid-stream.
   std::atomic<std::uint64_t> failure_epochs{0};
 
+  // --- graceful degradation -------------------------------------------------
+  /// Served snapshots per ladder rung (kFresh + kLastGood + kUniform ==
+  /// served when validation is on).
+  std::array<std::atomic<std::uint64_t>, kFallbackRungCount> fallback_rungs{};
+  /// Advised configs rejected by output validation (NaN/Inf/negative
+  /// weights) before install — each one stepped the ladder down.
+  std::atomic<std::uint64_t> invalid_outputs{0};
+  /// Pair-snapshots whose demand was dropped because every candidate path
+  /// was dead (summed over snapshots; see SnapshotResult::dropped_demand for
+  /// the per-snapshot volume).
+  std::atomic<std::uint64_t> dropped_pair_snapshots{0};
+  /// Oracle resolve attempts beyond the first (the backoff+retry loop).
+  std::atomic<std::uint64_t> oracle_retries{0};
+  /// Snapshots whose oracle recovered on a retry after a failed attempt.
+  std::atomic<std::uint64_t> oracle_retry_successes{0};
+  /// Failed oracle attempts by lp::Status reason (kOptimal slot stays 0).
+  std::array<std::atomic<std::uint64_t>, lp::kStatusCount>
+      oracle_attempt_failures{};
+  /// Chaos-injected worker stalls executed (te/chaos.h).
+  std::atomic<std::uint64_t> chaos_stalls{0};
+
   ServingStats() = default;
   ServingStats(const ServingStats&) = delete;
   ServingStats& operator=(const ServingStats&) = delete;
@@ -62,6 +100,17 @@ struct ServingStats {
     std::uint64_t warm_misses = 0;
     std::array<std::uint64_t, lp::kWarmFallbackCount> warm_fallbacks{};
     std::uint64_t failure_epochs = 0;
+    std::array<std::uint64_t, kFallbackRungCount> fallback_rungs{};
+    std::uint64_t invalid_outputs = 0;
+    std::uint64_t dropped_pair_snapshots = 0;
+    std::uint64_t oracle_retries = 0;
+    std::uint64_t oracle_retry_successes = 0;
+    std::array<std::uint64_t, lp::kStatusCount> oracle_attempt_failures{};
+    std::uint64_t chaos_stalls = 0;
+    /// Served snapshots that left rung 0 (kLastGood + kUniform).
+    std::uint64_t degraded() const noexcept {
+      return fallback_rungs[1] + fallback_rungs[2];
+    }
     double serve_p50 = 0.0, serve_p99 = 0.0, serve_p999 = 0.0;
     double e2e_p50 = 0.0, e2e_p99 = 0.0, e2e_p999 = 0.0;
     double infer_p50 = 0.0, infer_p99 = 0.0;

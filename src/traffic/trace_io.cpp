@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <limits>
@@ -15,15 +16,22 @@ namespace {
 constexpr const char* kHeaderV1 = "figret-trace,v1,";
 constexpr const char* kHeaderV2 = "figret-trace,v2,";
 
+/// Internal control-flow only: try_load_trace converts it into the typed
+/// TraceLoadResult, so no exception escapes the non-throwing API.
+struct ParseFail {
+  TraceIoError error;
+  std::size_t line;
+};
+
 double parse_double(const char* begin, const char* end, std::size_t line_no) {
   double v = 0.0;
   const auto [ptr, ec] = std::from_chars(begin, end, v);
   if (ec != std::errc{} || ptr != end)
-    throw std::runtime_error("load_trace: bad number at line " +
-                             std::to_string(line_no));
-  if (v < 0.0)
-    throw std::runtime_error("load_trace: negative demand at line " +
-                             std::to_string(line_no));
+    throw ParseFail{TraceIoError::kBadNumber, line_no};
+  // from_chars accepts "inf"/"nan" spellings — a corrupt or hand-damaged
+  // file must not smuggle non-finite demand into the pipeline.
+  if (!std::isfinite(v)) throw ParseFail{TraceIoError::kNonFinite, line_no};
+  if (v < 0.0) throw ParseFail{TraceIoError::kNegative, line_no};
   return v;
 }
 
@@ -35,16 +43,12 @@ DemandMatrix parse_dense_row(const std::string& line, std::size_t begin,
   while (begin <= line.size()) {
     std::size_t end = line.find(',', begin);
     if (end == std::string::npos) end = line.size();
-    if (col >= pairs)
-      throw std::runtime_error("load_trace: too many columns at line " +
-                               std::to_string(line_no));
+    if (col >= pairs) throw ParseFail{TraceIoError::kRaggedRow, line_no};
     dm[col++] = parse_double(line.data() + begin, line.data() + end, line_no);
     if (end == line.size()) break;
     begin = end + 1;
   }
-  if (col != pairs)
-    throw std::runtime_error("load_trace: expected " + std::to_string(pairs) +
-                             " columns at line " + std::to_string(line_no));
+  if (col != pairs) throw ParseFail{TraceIoError::kRaggedRow, line_no};
   return dm;
 }
 
@@ -58,17 +62,16 @@ DemandMatrix parse_sparse_row(const std::string& line, std::size_t begin,
     if (end == std::string::npos) end = line.size();
     const std::size_t colon = line.find(':', begin);
     if (colon == std::string::npos || colon >= end)
-      throw std::runtime_error("load_trace: bad sparse cell at line " +
-                               std::to_string(line_no));
+      throw ParseFail{TraceIoError::kBadPairIndex, line_no};
     std::uint64_t key = 0;
     const auto [kp, kec] =
         std::from_chars(line.data() + begin, line.data() + colon, key);
     if (kec != std::errc{} || kp != line.data() + colon || key >= pairs)
-      throw std::runtime_error("load_trace: bad pair index at line " +
-                               std::to_string(line_no));
-    if (!keys.empty() && key <= keys.back())
-      throw std::runtime_error("load_trace: unsorted sparse keys at line " +
-                               std::to_string(line_no));
+      throw ParseFail{TraceIoError::kBadPairIndex, line_no};
+    if (!keys.empty() && key == keys.back())
+      throw ParseFail{TraceIoError::kDuplicateKey, line_no};
+    if (!keys.empty() && key < keys.back())
+      throw ParseFail{TraceIoError::kUnsortedKeys, line_no};
     keys.push_back(static_cast<std::uint32_t>(key));
     vals.push_back(
         parse_double(line.data() + colon + 1, line.data() + end, line_no));
@@ -78,7 +81,113 @@ DemandMatrix parse_sparse_row(const std::string& line, std::size_t begin,
   return DemandMatrix::sparse(n, std::move(keys), std::move(vals));
 }
 
+/// Tolerate files that crossed a Windows toolchain: a trailing '\r' is
+/// stripped, never parsed as part of the last cell.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+TraceLoadResult load_impl(std::istream& is) {
+  TraceLoadResult result;
+  std::string line;
+  if (!std::getline(is, line)) {
+    result.error = is.bad() ? TraceIoError::kTruncated
+                            : TraceIoError::kEmptyInput;
+    return result;
+  }
+  strip_cr(line);
+  const bool v2 = line.rfind(kHeaderV2, 0) == 0;
+  if (!v2 && line.rfind(kHeaderV1, 0) != 0) {
+    result.error = TraceIoError::kBadHeader;
+    result.line = 1;
+    return result;
+  }
+  std::size_t n = 0;
+  {
+    const std::string tail = line.substr(std::string(kHeaderV1).size());
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), n);
+    // Full-consume: "figret-trace,v1,12garbage" is a damaged header, not a
+    // 12-node trace. The cap keeps n*(n-1) inside the sparse key width.
+    if (ec != std::errc{} || ptr != tail.data() + tail.size() || n < 2 ||
+        n > kMaxTraceNodes) {
+      result.error = TraceIoError::kBadNodeCount;
+      result.line = 1;
+      return result;
+    }
+  }
+
+  result.trace.num_nodes = n;
+  std::size_t line_no = 1;
+  try {
+    while (std::getline(is, line)) {
+      ++line_no;
+      strip_cr(line);
+      if (line.empty()) continue;
+      if (v2) {
+        if (line[0] == 's' && (line.size() == 1 || line[1] == ',')) {
+          result.trace.snapshots.push_back(parse_sparse_row(
+              line, std::min<std::size_t>(2, line.size()), n, line_no));
+          continue;
+        }
+        if (line[0] == 'd' && line.size() > 1 && line[1] == ',') {
+          result.trace.snapshots.push_back(
+              parse_dense_row(line, 2, n, line_no));
+          continue;
+        }
+        throw ParseFail{TraceIoError::kBadRowTag, line_no};
+      }
+      result.trace.snapshots.push_back(parse_dense_row(line, 0, n, line_no));
+    }
+  } catch (const ParseFail& f) {
+    result.error = f.error;
+    result.line = f.line;
+    return result;
+  }
+  if (is.bad()) {
+    // The stream died mid-read (I/O error): whatever parsed so far is a
+    // prefix of the file, not the file.
+    result.error = TraceIoError::kTruncated;
+    result.line = line_no;
+  }
+  return result;
+}
+
 }  // namespace
+
+const char* to_string(TraceIoError err) noexcept {
+  switch (err) {
+    case TraceIoError::kNone:
+      return "ok";
+    case TraceIoError::kOpenFailed:
+      return "cannot open file";
+    case TraceIoError::kEmptyInput:
+      return "empty input";
+    case TraceIoError::kBadHeader:
+      return "bad header";
+    case TraceIoError::kBadNodeCount:
+      return "bad node count in header";
+    case TraceIoError::kBadRowTag:
+      return "bad v2 row tag";
+    case TraceIoError::kBadNumber:
+      return "bad number";
+    case TraceIoError::kNonFinite:
+      return "non-finite demand";
+    case TraceIoError::kNegative:
+      return "negative demand";
+    case TraceIoError::kRaggedRow:
+      return "wrong column count";
+    case TraceIoError::kBadPairIndex:
+      return "bad sparse pair index";
+    case TraceIoError::kDuplicateKey:
+      return "duplicate sparse key";
+    case TraceIoError::kUnsortedKeys:
+      return "unsorted sparse keys";
+    case TraceIoError::kTruncated:
+      return "stream truncated mid-read";
+  }
+  return "unknown";
+}
 
 void save_trace(const TrafficTrace& trace, std::ostream& os) {
   if (trace.num_nodes < 2)
@@ -114,52 +223,36 @@ void save_trace_file(const TrafficTrace& trace, const std::string& path) {
   save_trace(trace, out);
 }
 
-TrafficTrace load_trace(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line))
-    throw std::runtime_error("load_trace: empty input");
-  const bool v2 = line.rfind(kHeaderV2, 0) == 0;
-  if (!v2 && line.rfind(kHeaderV1, 0) != 0)
-    throw std::runtime_error("load_trace: bad header");
-  std::size_t n = 0;
-  {
-    const std::string tail = line.substr(std::string(kHeaderV1).size());
-    const auto [ptr, ec] =
-        std::from_chars(tail.data(), tail.data() + tail.size(), n);
-    if (ec != std::errc{} || n < 2)
-      throw std::runtime_error("load_trace: bad node count in header");
-    (void)ptr;
-  }
+TraceLoadResult try_load_trace(std::istream& is) { return load_impl(is); }
 
-  TrafficTrace trace;
-  trace.num_nodes = n;
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    if (v2) {
-      if (line[0] == 's' && (line.size() == 1 || line[1] == ',')) {
-        trace.snapshots.push_back(
-            parse_sparse_row(line, std::min<std::size_t>(2, line.size()), n,
-                             line_no));
-        continue;
-      }
-      if (line[0] == 'd' && line.size() > 1 && line[1] == ',') {
-        trace.snapshots.push_back(parse_dense_row(line, 2, n, line_no));
-        continue;
-      }
-      throw std::runtime_error("load_trace: bad v2 row tag at line " +
-                               std::to_string(line_no));
-    }
-    trace.snapshots.push_back(parse_dense_row(line, 0, n, line_no));
+TraceLoadResult try_load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    TraceLoadResult result;
+    result.error = TraceIoError::kOpenFailed;
+    return result;
   }
-  return trace;
+  return load_impl(in);
+}
+
+TrafficTrace load_trace(std::istream& is) {
+  TraceLoadResult result = try_load_trace(is);
+  if (!result.ok())
+    throw std::runtime_error(
+        "load_trace: " + std::string(to_string(result.error)) +
+        (result.line > 0 ? " at line " + std::to_string(result.line) : ""));
+  return std::move(result.trace);
 }
 
 TrafficTrace load_trace_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
-  return load_trace(in);
+  TraceLoadResult result = try_load_trace_file(path);
+  if (result.error == TraceIoError::kOpenFailed)
+    throw std::runtime_error("load_trace_file: cannot open " + path);
+  if (!result.ok())
+    throw std::runtime_error(
+        "load_trace: " + std::string(to_string(result.error)) +
+        (result.line > 0 ? " at line " + std::to_string(result.line) : ""));
+  return std::move(result.trace);
 }
 
 }  // namespace figret::traffic

@@ -15,8 +15,16 @@
 //
 // save_trace picks v1 when every snapshot is dense (backward compatible)
 // and v2 as soon as any snapshot is sparse; load_trace reads either.
+//
+// Loading is hardened against hostile or damaged files: truncated streams,
+// non-finite values (std::from_chars happily parses "inf"/"nan"), negative
+// demands, ragged rows, out-of-range / duplicate / unsorted sparse keys,
+// absurd header node counts, and CRLF line endings all produce a *typed*
+// verdict via try_load_trace; the load_trace wrappers keep their historical
+// throwing contract on top of it.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -24,12 +32,52 @@
 
 namespace figret::traffic {
 
+/// Why a trace failed to load (kNone: it did not).
+enum class TraceIoError : std::uint8_t {
+  kNone = 0,
+  kOpenFailed,    // file variant only: could not open the path
+  kEmptyInput,    // no header line at all
+  kBadHeader,     // header is not figret-trace,v{1,2},<n>
+  kBadNodeCount,  // header n unparsable, < 2, > kMaxTraceNodes, or trailed
+                  // by garbage
+  kBadRowTag,     // v2 row starting with neither "d," nor "s"
+  kBadNumber,     // unparsable or incompletely consumed numeric cell
+  kNonFinite,     // a demand parsed as inf/nan
+  kNegative,      // a demand parsed negative
+  kRaggedRow,     // dense row with the wrong column count
+  kBadPairIndex,  // sparse key unparsable or >= n*(n-1)
+  kDuplicateKey,  // sparse key repeated within a row
+  kUnsortedKeys,  // sparse keys not strictly increasing
+  kTruncated,     // underlying stream failed mid-read (badbit)
+};
+const char* to_string(TraceIoError err) noexcept;
+inline constexpr std::size_t kTraceIoErrorCount = 14;
+
+/// Header node counts above this are rejected: n*(n-1) must fit the sparse
+/// pair-key width, and anything near it is a corrupt header in practice.
+inline constexpr std::size_t kMaxTraceNodes = 65536;
+
+/// Non-throwing load verdict. On failure `trace` holds whatever parsed
+/// cleanly before the error (snapshots up to, not including, `line`).
+struct TraceLoadResult {
+  TrafficTrace trace;
+  TraceIoError error = TraceIoError::kNone;
+  /// 1-based line of the failure (0 when not line-specific).
+  std::size_t line = 0;
+  bool ok() const noexcept { return error == TraceIoError::kNone; }
+};
+
 /// Writes a trace; throws std::runtime_error on I/O failure.
 void save_trace(const TrafficTrace& trace, std::ostream& os);
 void save_trace_file(const TrafficTrace& trace, const std::string& path);
 
-/// Reads a trace written by save_trace. Throws std::runtime_error on
-/// malformed input (bad header, ragged rows, non-numeric or negative cells).
+/// Reads a trace written by save_trace, returning a typed verdict instead
+/// of throwing. Never throws on malformed input.
+TraceLoadResult try_load_trace(std::istream& is);
+TraceLoadResult try_load_trace_file(const std::string& path);
+
+/// Throwing wrappers over try_load_trace: std::runtime_error carrying the
+/// typed reason and line number in its message.
 TrafficTrace load_trace(std::istream& is);
 TrafficTrace load_trace_file(const std::string& path);
 

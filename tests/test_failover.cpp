@@ -124,6 +124,66 @@ TEST_P(SafeFailureParam, EveryPairKeepsAPath) {
 INSTANTIATE_TEST_SUITE_P(FailureCounts, SafeFailureParam,
                          ::testing::Values(1u, 2u, 3u));
 
+TEST(Reroute, AllPathsDeadPairIsAccountedAsDropped) {
+  // Regression for the §4.5 edge case: a pair whose every candidate path
+  // died must surface in RerouteStats (zero ratios, weight counted as
+  // dropped) instead of being renormalized toward a zero denominator.
+  net::Graph g(2);
+  g.add_link(0, 1, 1.0);
+  const PathSet ps = PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+  const net::EdgeId e01 = g.find_edge(0, 1);
+  const auto alive = surviving_paths(ps, {e01});
+  TeConfig out;
+  RerouteStats stats;
+  reroute_into(ps, uniform_config(ps), alive, out, &stats);
+  EXPECT_EQ(stats.disconnected_pairs, 1u);
+  EXPECT_NEAR(stats.dropped_weight, 1.0, 1e-12);
+  const std::size_t pr01 = traffic::pair_index(2, 0, 1);
+  for (std::size_t p = ps.pair_begin(pr01); p < ps.pair_end(pr01); ++p)
+    EXPECT_DOUBLE_EQ(out[p], 0.0);
+}
+
+TEST(Reroute, StatsAreOverwrittenNotAccumulated) {
+  net::Graph g(2);
+  g.add_link(0, 1, 1.0);
+  const PathSet ps = PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+  const auto dead = surviving_paths(ps, {g.find_edge(0, 1)});
+  const std::vector<bool> all_alive(ps.num_paths(), true);
+  TeConfig out;
+  RerouteStats stats;
+  reroute_into(ps, uniform_config(ps), dead, out, &stats);
+  ASSERT_EQ(stats.disconnected_pairs, 1u);
+  // A later healthy call must reset the counters, not add to them.
+  reroute_into(ps, uniform_config(ps), all_alive, out, &stats);
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+  EXPECT_DOUBLE_EQ(stats.dropped_weight, 0.0);
+}
+
+TEST(DisconnectedPairs, MatchesAliveScan) {
+  const net::Graph g = net::full_mesh(4);
+  const PathSet ps = PathSet::build(g, net::all_pairs_k_shortest(g, 3));
+  // Fail every arc touching node 0: all six pairs with endpoint 0 go dark.
+  std::vector<net::EdgeId> failed;
+  for (net::EdgeId e = 0; e < g.num_edges(); ++e)
+    if (g.edge(e).src == 0 || g.edge(e).dst == 0) failed.push_back(e);
+  const auto alive = surviving_paths(ps, failed);
+  std::vector<std::uint32_t> dead_pairs;
+  disconnected_pairs_into(ps, alive, dead_pairs);
+  std::vector<std::uint32_t> expect;
+  for (std::size_t pr = 0; pr < ps.num_pairs(); ++pr) {
+    bool any = false;
+    for (std::size_t p = ps.pair_begin(pr); p < ps.pair_end(pr); ++p)
+      any |= alive[p];
+    if (!any) expect.push_back(static_cast<std::uint32_t>(pr));
+  }
+  EXPECT_EQ(dead_pairs, expect);
+  EXPECT_EQ(dead_pairs.size(), 6u);
+  // And the healthy mask yields none (also exercises the resize-down path).
+  disconnected_pairs_into(ps, std::vector<bool>(ps.num_paths(), true),
+                          dead_pairs);
+  EXPECT_TRUE(dead_pairs.empty());
+}
+
 TEST(SampleSafeFailures, DistinctEdges) {
   const PathSet ps = mesh_pathset(5);
   const auto failed = sample_safe_failures(ps, 3, 1);

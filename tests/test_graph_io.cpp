@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -73,6 +74,100 @@ TEST(GraphIo, DotExportContainsEveryArc) {
 
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW(load_graph_file("/nonexistent/graph.csv"), std::runtime_error);
+}
+
+// ------------------------------------------------ typed error verdicts --
+
+GraphIoError verdict(const std::string& text, std::size_t* line = nullptr) {
+  std::stringstream is(text);
+  const GraphLoadResult res = try_load_graph(is);
+  if (line != nullptr) *line = res.line;
+  return res.error;
+}
+
+TEST(GraphIoErrors, HeaderDamageIsTyped) {
+  EXPECT_EQ(verdict(""), GraphIoError::kEmptyInput);
+  EXPECT_EQ(verdict("digraph {}\n"), GraphIoError::kBadHeader);
+  EXPECT_EQ(verdict("figret-graph,v1,0\n"), GraphIoError::kBadNodeCount);
+  EXPECT_EQ(verdict("figret-graph,v1,\n"), GraphIoError::kBadNodeCount);
+  // Full-consume: trailing garbage after the node count is a damaged
+  // header, not a smaller topology.
+  EXPECT_EQ(verdict("figret-graph,v1,12garbage\n"),
+            GraphIoError::kBadNodeCount);
+  EXPECT_EQ(verdict("figret-graph,v1,999999999\n"),
+            GraphIoError::kBadNodeCount);
+}
+
+TEST(GraphIoErrors, ArcDamageIsTypedWithLine) {
+  std::size_t line = 0;
+  EXPECT_EQ(verdict("figret-graph,v1,3\nx,1,1.0\n", &line),
+            GraphIoError::kBadSource);
+  EXPECT_EQ(line, 2u);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,y,1.0\n"),
+            GraphIoError::kBadDestination);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1\n"),
+            GraphIoError::kBadDestination);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,abc\n"),
+            GraphIoError::kBadCapacity);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,1.0junk\n"),
+            GraphIoError::kBadCapacity);
+  // from_chars accepts "inf"/"nan", and NaN sails through `cap <= 0`
+  // unnoticed — both need their own verdict.
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,inf\n"),
+            GraphIoError::kNonFiniteCapacity);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,nan\n"),
+            GraphIoError::kNonFiniteCapacity);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,-3\n"),
+            GraphIoError::kNonPositiveCapacity);
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,0\n"),
+            GraphIoError::kNonPositiveCapacity);
+  EXPECT_EQ(verdict("figret-graph,v1,2\n0,5,1.0\n"),
+            GraphIoError::kNodeOutOfRange);
+  EXPECT_EQ(verdict("figret-graph,v1,2\n0,0,1.0\n"), GraphIoError::kSelfLoop);
+  // A repeated (src, dst) line would silently double capacity via parallel
+  // arcs — reject it, and report the offending line.
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,1.0\n1,2,1.0\n0,1,2.0\n", &line),
+            GraphIoError::kDuplicateArc);
+  EXPECT_EQ(line, 4u);
+  // Opposite direction is a distinct arc, not a duplicate.
+  EXPECT_EQ(verdict("figret-graph,v1,3\n0,1,1.0\n1,0,1.0\n"),
+            GraphIoError::kNone);
+}
+
+TEST(GraphIoErrors, CrlfLineEndingsAreTolerated) {
+  std::stringstream is("figret-graph,v1,3\r\n0,1,2.5\r\n# note\r\n1,2,1.0\r\n");
+  const GraphLoadResult res = try_load_graph(is);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(res.graph.edge(0).capacity, 2.5);
+}
+
+TEST(GraphIoErrors, OpenFailureIsTypedNotThrown) {
+  const GraphLoadResult res = try_load_graph_file("/nonexistent/graph.csv");
+  EXPECT_EQ(res.error, GraphIoError::kOpenFailed);
+}
+
+TEST(GraphIoErrors, ThrowingWrapperCarriesReasonAndLine) {
+  std::stringstream is("figret-graph,v1,3\n0,1,nan\n");
+  try {
+    load_graph(is);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(to_string(GraphIoError::kNonFiniteCapacity)),
+              std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIoErrors, EveryErrorHasADistinctMessage) {
+  std::vector<std::string> seen;
+  for (std::size_t k = 0; k < kGraphIoErrorCount; ++k) {
+    const std::string s = to_string(static_cast<GraphIoError>(k));
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), s), seen.end())
+        << "duplicate message: " << s;
+    seen.push_back(s);
+  }
 }
 
 }  // namespace

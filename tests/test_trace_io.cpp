@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -177,6 +178,106 @@ TEST(TraceIoV2, RejectsMalformedRows) {
   // Dense v2 row with the wrong column count.
   std::stringstream ragged("figret-trace,v2,3\nd,1,2,3\n");
   EXPECT_THROW(load_trace(ragged), std::runtime_error);
+}
+
+// ------------------------------------------------ typed error verdicts --
+
+TraceIoError verdict(const std::string& text, std::size_t* line = nullptr) {
+  std::stringstream is(text);
+  const TraceLoadResult res = try_load_trace(is);
+  if (line != nullptr) *line = res.line;
+  return res.error;
+}
+
+TEST(TraceIoErrors, HeaderDamageIsTyped) {
+  EXPECT_EQ(verdict(""), TraceIoError::kEmptyInput);
+  EXPECT_EQ(verdict("not-a-trace,v9,4\n"), TraceIoError::kBadHeader);
+  EXPECT_EQ(verdict("figret-trace,v3,4\n"), TraceIoError::kBadHeader);
+  // Full-consume: a header node count trailed by garbage is damage, not a
+  // smaller trace.
+  EXPECT_EQ(verdict("figret-trace,v1,4garbage\n"), TraceIoError::kBadNodeCount);
+  EXPECT_EQ(verdict("figret-trace,v1,1\n"), TraceIoError::kBadNodeCount);
+  EXPECT_EQ(verdict("figret-trace,v1,\n"), TraceIoError::kBadNodeCount);
+  EXPECT_EQ(verdict("figret-trace,v1,99999999\n"), TraceIoError::kBadNodeCount);
+}
+
+TEST(TraceIoErrors, BodyDamageIsTypedWithLine) {
+  std::size_t line = 0;
+  // from_chars parses "inf"/"nan" — they must be rejected explicitly, both
+  // as dense cells and as sparse values.
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,inf,4,5,6\n", &line),
+            TraceIoError::kNonFinite);
+  EXPECT_EQ(line, 2u);
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,nan,4,5,6\n"),
+            TraceIoError::kNonFinite);
+  EXPECT_EQ(verdict("figret-trace,v2,3\ns,2:inf\n"), TraceIoError::kNonFinite);
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,-3,4,5,6\n"),
+            TraceIoError::kNegative);
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,x,4,5,6\n"),
+            TraceIoError::kBadNumber);
+  // Incomplete consumption of a cell is damage, not a shorter number.
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,3junk,4,5,6\n"),
+            TraceIoError::kBadNumber);
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,3,4,5\n", &line),
+            TraceIoError::kRaggedRow);
+  EXPECT_EQ(line, 2u);
+  EXPECT_EQ(verdict("figret-trace,v1,3\n1,2,3,4,5,6,7\n"),
+            TraceIoError::kRaggedRow);
+  EXPECT_EQ(verdict("figret-trace,v2,3\nx,1:2\n"), TraceIoError::kBadRowTag);
+  EXPECT_EQ(verdict("figret-trace,v2,3\ns,6:1.0\n"),
+            TraceIoError::kBadPairIndex);
+  // Duplicate and merely-unsorted keys are distinct verdicts.
+  EXPECT_EQ(verdict("figret-trace,v2,3\ns,3:1.0,3:2.0\n"),
+            TraceIoError::kDuplicateKey);
+  EXPECT_EQ(verdict("figret-trace,v2,3\ns,3:1.0,1:2.0\n"),
+            TraceIoError::kUnsortedKeys);
+}
+
+TEST(TraceIoErrors, PartialParseKeepsCleanPrefix) {
+  std::stringstream is(
+      "figret-trace,v1,3\n1,2,3,4,5,6\n6,5,4,3,2,1\n1,2,x,4,5,6\n");
+  const TraceLoadResult res = try_load_trace(is);
+  EXPECT_EQ(res.error, TraceIoError::kBadNumber);
+  EXPECT_EQ(res.line, 4u);
+  // The two clean snapshots before the damage survive in the result.
+  EXPECT_EQ(res.trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.trace[1][0], 6.0);
+}
+
+TEST(TraceIoErrors, CrlfLineEndingsAreTolerated) {
+  std::stringstream is("figret-trace,v1,3\r\n1,2,3,4,5,6\r\n");
+  const TraceLoadResult res = try_load_trace(is);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.trace[0][2], 3.0);
+}
+
+TEST(TraceIoErrors, OpenFailureIsTypedNotThrown) {
+  const TraceLoadResult res = try_load_trace_file("/nonexistent/trace.csv");
+  EXPECT_EQ(res.error, TraceIoError::kOpenFailed);
+}
+
+TEST(TraceIoErrors, ThrowingWrapperCarriesReasonAndLine) {
+  std::stringstream is("figret-trace,v1,3\n1,2,nan,4,5,6\n");
+  try {
+    load_trace(is);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(to_string(TraceIoError::kNonFinite)),
+              std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceIoErrors, EveryErrorHasADistinctMessage) {
+  std::vector<std::string> seen;
+  for (std::size_t k = 0; k < kTraceIoErrorCount; ++k) {
+    const std::string s = to_string(static_cast<TraceIoError>(k));
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), s), seen.end())
+        << "duplicate message: " << s;
+    seen.push_back(s);
+  }
 }
 
 }  // namespace
